@@ -1,0 +1,158 @@
+// Command expdriver regenerates every table and figure of the paper's
+// evaluation (Section 6) and prints them as text tables.
+//
+// Usage:
+//
+//	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10]
+//	          [-scale small|full] [-seed N] [-budget DUR]
+//
+// "full" scale uses the paper's decision-space parameters (1024 join
+// units, 4-node default cluster, 2–12 node scale-out) with cell counts
+// scaled to run on one machine; "small" runs everything in a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shufflejoin/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10)")
+		scale     = flag.String("scale", "full", "experiment scale: small or full")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		budget    = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
+		calibrate = flag.Bool("calibrate", false, "measure the cost-model parameters m, b, p on this machine instead of using defaults")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed}
+	rcfg := bench.RealConfig{Seed: *seed}
+	lcfg := bench.LogicalConfig{Seed: *seed}
+	switch *scale {
+	case "small":
+		cfg.Units = 256
+		cfg.CellsPerSide = 1 << 20
+		cfg.ILPBudget = 200 * time.Millisecond
+		rcfg.AISCells = 40_000
+		rcfg.MODISCells = 60_000
+		rcfg.ILPBudget = 200 * time.Millisecond
+		lcfg.CellsPerSide = 10_000
+	case "full":
+		// Library defaults: 1024 units, 4M cells/side, 2s budget.
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *budget != 0 {
+		cfg.ILPBudget = *budget
+		rcfg.ILPBudget = *budget
+	}
+	if *calibrate {
+		cfg.Params = bench.Calibrate(0, *seed)
+		fmt.Printf("calibrated cost parameters: m=%.3gs b=%.3gs p=%.3gs t=%.3gs per cell\n\n",
+			cfg.Params.Merge, cfg.Params.Build, cfg.Params.Probe, cfg.Params.Transfer)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	var logicalRows []bench.LogicalMeasurement
+	logicalOnce := func() error {
+		if logicalRows != nil {
+			return nil
+		}
+		rows, err := bench.RunLogical(lcfg)
+		if err != nil {
+			return err
+		}
+		logicalRows = rows
+		return nil
+	}
+	renderLogical := func() error {
+		if err := logicalOnce(); err != nil {
+			return err
+		}
+		fit, err := bench.Fig5Fit(logicalRows)
+		if err != nil {
+			return err
+		}
+		bench.RenderLogical(os.Stdout, logicalRows, fit)
+		fmt.Printf("minimum-cost plan is also fastest: %v\n\n", bench.MinCostIsFastest(logicalRows))
+		return nil
+	}
+
+	run("fig5", renderLogical)
+	if *exp == "fig6" { // fig5 and fig6 share one run and renderer
+		run("fig6", renderLogical)
+	}
+	run("table1", func() error {
+		rows, fits, err := bench.Table1Operators(nil, *seed)
+		if err != nil {
+			return err
+		}
+		bench.RenderTable1(os.Stdout, rows, fits)
+		return nil
+	})
+	run("table2", func() error {
+		rows, fit, err := bench.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderTable2(os.Stdout, rows, fit)
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := bench.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderPhys(os.Stdout, "Figure 7: merge join under skew", "skew", rows, bench.GroupByAlpha)
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := bench.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderPhys(os.Stdout, "Figure 8: hash join under skew", "skew", rows, bench.GroupByAlpha)
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := bench.Fig9(rcfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderReal(os.Stdout, "Figure 9: merge join on real-world analogue (beneficial skew)", rows)
+		fmt.Printf("end-to-end speedup over baseline: %.2fx (paper ~2.5x)\n", bench.Speedup(rows))
+		fmt.Printf("data alignment reduction:        %.2fx (paper ~20x)\n\n", bench.AlignReduction(rows))
+		return nil
+	})
+	run("adversarial", func() error {
+		rows, err := bench.Adversarial(rcfg)
+		if err != nil {
+			return err
+		}
+		bench.RenderReal(os.Stdout, "Section 6.3.2: adversarial skew (two matched bands, NDVI join)", rows)
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := bench.Fig10(cfg, nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderPhys(os.Stdout, "Figure 10: scale-out of merge join (skew a=1.0)", "nodes", rows, bench.GroupByNodes)
+		return nil
+	})
+}

@@ -1,0 +1,67 @@
+// Ship tracks vs. satellite imagery: the paper's Section 6.3.1 scenario.
+// Marine-traffic broadcasts (AIS) cluster around ports — orders of
+// magnitude more cells near major harbors than along empty coastline —
+// while satellite reflectance data covers the globe near-uniformly.
+// Joining them on the geospatial dimensions exhibits *beneficial skew*:
+// for every geographic join unit there is a clearly cheaper side to move.
+//
+// The example joins the two datasets to study the environment at vessel
+// locations, comparing the skew-aware minimum-bandwidth planner with the
+// skew-agnostic baseline.
+//
+// Run with: go run ./examples/shiptracks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shufflejoin"
+)
+
+func main() {
+	const query = `SELECT Band1.reflectance, Broadcast.ship_id
+		FROM Band1, Broadcast
+		WHERE Band1.longitude = Broadcast.longitude
+		AND Band1.latitude = Broadcast.latitude`
+
+	type outcome struct {
+		name string
+		res  *shufflejoin.Result
+	}
+	var outcomes []outcome
+	for _, planner := range []string{"baseline", "mbh"} {
+		db, err := shufflejoin.Open(4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// 110k AIS broadcasts (110 GB in the paper, scaled 1e-6) and 170k
+		// satellite readings, on a 4-degree chunk grid = 4,050 geo units.
+		ships := db.LoadShipTracks("Broadcast", 110_000, 42)
+		band := db.LoadSatelliteBand("Band1", 170_000, 43)
+		fmt.Printf("loaded %s: %d cells over %d chunks\n", ships.Name(), ships.CellCount(), ships.ChunkCount())
+		fmt.Printf("loaded %s: %d cells over %d chunks\n", band.Name(), band.CellCount(), band.ChunkCount())
+
+		res, err := db.Query(query,
+			shufflejoin.WithPlanner(planner),
+			shufflejoin.WithAlgorithm("merge"),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{planner, res})
+	}
+
+	fmt.Printf("\n%-10s %12s %12s %12s %12s\n", "planner", "align(s)", "compare(s)", "total(s)", "cells moved")
+	for _, o := range outcomes {
+		fmt.Printf("%-10s %12.4f %12.4f %12.4f %12d\n",
+			o.name, o.res.AlignSeconds, o.res.CompareSeconds,
+			o.res.AlignSeconds+o.res.CompareSeconds, o.res.CellsMoved)
+	}
+	base, mbh := outcomes[0].res, outcomes[1].res
+	fmt.Printf("\nbeneficial skew: the skew-aware planner moved %.0fx fewer cells\n",
+		float64(base.CellsMoved)/float64(mbh.CellsMoved))
+	fmt.Printf("and finished %.1fx faster end-to-end (paper reports ~2.5x on real data)\n",
+		(base.AlignSeconds+base.CompareSeconds)/(mbh.AlignSeconds+mbh.CompareSeconds))
+	fmt.Printf("matches (satellite readings at vessel positions): %d\n", mbh.Matches)
+}

@@ -1,0 +1,101 @@
+// Skewed hash join: an attribute-to-attribute join whose key distribution
+// is heavily Zipfian, comparing the skew-aware physical planners against
+// the skew-agnostic baseline — the Section 6.2.2 scenario of the paper in
+// miniature.
+//
+// Two "event" arrays are joined on a user id whose popularity follows a
+// Zipf law (a few users generate most events), so hash-bucket join units
+// differ wildly in size. The baseline deals buckets to nodes blindly; the
+// skew-aware planners place each bucket to minimize network transfer
+// while balancing comparison load.
+//
+// Run with: go run ./examples/skewedhash
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"shufflejoin"
+)
+
+const (
+	users  = 16_384
+	clicks = 60_000
+	zipfS  = 1.4
+)
+
+// buildDB loads a click stream whose user popularity is Zipfian (a few
+// users generate most clicks — the skew) and a purchase table with one row
+// per purchasing user (unique keys, so the join output stays linear).
+func buildDB() *shufflejoin.DB {
+	db, err := shufflejoin.Open(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, zipfS, 1, users-1)
+
+	clickArr, err := db.CreateArray(fmt.Sprintf("Clicks<user:int>[t=1,%d,%d]", clicks, clicks/32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	buyArr, err := db.CreateArray(fmt.Sprintf("Buys<buyer:int>[r=1,%d,%d]", users, users/32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hot users click in bursts: the popular user at time t sits near
+	// t·users/clicks, so each user's activity clusters in a narrow time
+	// band — and therefore on few storage chunks and few nodes. That gives
+	// the hash buckets location skew on top of size skew, which is what
+	// the skew-aware planners exploit.
+	for t := int64(1); t <= clicks; t++ {
+		user := (int64(zipf.Uint64()) + t*users/clicks) % users
+		if err := clickArr.Insert([]int64{t}, user); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for r := int64(1); r <= users; r++ {
+		if err := buyArr.Insert([]int64{r}, r-1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}
+
+func main() {
+	const query = `SELECT Clicks.t, Buys.r
+		INTO Pairs<click_t:int, buy_r:int>[]
+		FROM Clicks, Buys
+		WHERE Clicks.user = Buys.buyer`
+
+	fmt.Printf("%-10s %12s %12s %12s %12s %12s\n",
+		"planner", "plan(s)", "align(s)", "compare(s)", "total(s)", "moved")
+	best, worst := math.Inf(1), 0.0
+	for _, planner := range []string{"baseline", "mbh", "tabu", "ilp", "coarse"} {
+		// Fresh cluster per run so every planner sees the same layout.
+		db := buildDB()
+		res, err := db.Query(query,
+			shufflejoin.WithPlanner(planner, 500*time.Millisecond),
+			shufflejoin.WithAlgorithm("hash"),
+			shufflejoin.WithSelectivity(10),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.4f %12.4f %12.4f %12.4f %12d\n",
+			planner, res.PlanSeconds, res.AlignSeconds, res.CompareSeconds,
+			res.TotalSeconds, res.CellsMoved)
+		exec := res.AlignSeconds + res.CompareSeconds
+		if exec < best {
+			best = exec
+		}
+		if exec > worst {
+			worst = exec
+		}
+	}
+	fmt.Printf("\nskew-aware planning improved execution by up to %.1fx on this layout\n", worst/best)
+}

@@ -1,0 +1,3 @@
+module shufflejoin
+
+go 1.22

@@ -1,0 +1,316 @@
+package afl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shufflejoin/internal/array"
+)
+
+// figure1 builds the paper's Figure 1 array.
+func figure1(t *testing.T) *array.Array {
+	t.Helper()
+	a := array.MustNew(array.MustParseSchema("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]"))
+	cells := []struct {
+		i, j int64
+		v1   int64
+		v2   float64
+	}{
+		{1, 2, 5, 3.0}, {1, 3, 1, 4.7},
+		{2, 1, 1, 0.2}, {2, 2, 7, 1.3},
+		{3, 1, 1, 0.9}, {3, 2, 0, 0.4}, {3, 3, 0, 7.5},
+		{4, 1, 6, 1.4}, {4, 2, 3, 6.9},
+		{5, 1, 3, 0.8}, {5, 2, 3, 1.4}, {5, 3, 6, 9.1},
+		{6, 1, 9, 2.7}, {6, 2, 5, 7.9}, {6, 3, 5, 8.7},
+	}
+	for _, c := range cells {
+		a.MustPut([]int64{c.i, c.j}, []array.Value{array.IntValue(c.v1), array.FloatValue(c.v2)})
+	}
+	a.SortAll()
+	return a
+}
+
+func TestFilterPaperExample(t *testing.T) {
+	// filter(A, v1 > 5): the Section 2.2 example query.
+	a := figure1(t)
+	out, err := Eval(MustParse("filter(A, v1 > 5)"), Env{"A": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 > 5: cells (2,2)=7, (4,1)=6, (5,3)=6, (6,1)=9.
+	if out.CellCount() != 4 {
+		t.Errorf("filter kept %d cells, want 4", out.CellCount())
+	}
+	out.Scan(func(_ []int64, attrs []array.Value) bool {
+		if attrs[0].AsInt() <= 5 {
+			t.Errorf("cell with v1=%v survived the filter", attrs[0])
+		}
+		return true
+	})
+}
+
+func TestFilterOnDimension(t *testing.T) {
+	a := figure1(t)
+	out, err := Eval(MustParse("filter(A, i <= 2)"), Env{"A": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CellCount() != 4 {
+		t.Errorf("got %d cells, want 4", out.CellCount())
+	}
+}
+
+func TestFilterOperators(t *testing.T) {
+	a := figure1(t)
+	cases := map[string]int64{
+		"filter(A, v1 = 1)":   3,
+		"filter(A, v1 != 1)":  12,
+		"filter(A, v1 < 1)":   2,
+		"filter(A, v1 >= 9)":  1,
+		"filter(A, v2 > 7.0)": 4,
+	}
+	for src, want := range cases {
+		out, err := Eval(MustParse(src), Env{"A": a})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if out.CellCount() != want {
+			t.Errorf("%s: %d cells, want %d", src, out.CellCount(), want)
+		}
+	}
+}
+
+func TestProjectVerticalPartition(t *testing.T) {
+	a := figure1(t)
+	out, err := Eval(MustParse("project(A, v2)"), Env{"A": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Schema.Attrs) != 1 || out.Schema.Attrs[0].Name != "v2" {
+		t.Errorf("projected schema = %v", out.Schema)
+	}
+	if out.CellCount() != a.CellCount() {
+		t.Errorf("project changed cell count")
+	}
+	if _, err := Project(a, []string{"nope"}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestRedimensionPaperExample(t *testing.T) {
+	// The Section 2.3.1 example: B<v1,v2,i>[j] redimensioned so attribute
+	// i becomes a dimension, making it merge-compatible with A.
+	b := array.MustNew(array.MustParseSchema("B<v1:int, v2:float, i:int>[j=1,6,3]"))
+	for j := int64(1); j <= 6; j++ {
+		b.MustPut([]int64{j}, []array.Value{
+			array.IntValue(j * 10), array.FloatValue(float64(j)), array.IntValue(7 - j)})
+	}
+	out, err := Eval(MustParse("redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3])"), Env{"B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CellCount() != 6 {
+		t.Fatalf("redim produced %d cells", out.CellCount())
+	}
+	if got := len(out.Schema.Dims); got != 2 {
+		t.Fatalf("redim output has %d dims", got)
+	}
+	// Cell originally at j=1 had attribute i=6: must now live at (6,1).
+	vals, ok := out.Get([]int64{6, 1})
+	if !ok || vals[0].AsInt() != 10 {
+		t.Errorf("cell at (6,1) = %v, %v", vals, ok)
+	}
+	// Output chunks must be sorted (redim sorts; Table 1).
+	for _, ch := range out.Chunks {
+		if !ch.IsSortedCOrder() {
+			t.Error("redim output chunk not sorted")
+		}
+	}
+}
+
+func TestRechunkDoesNotSort(t *testing.T) {
+	a := array.MustNew(array.MustParseSchema("A<v:int>[i=1,100,10]"))
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 100; n++ {
+		a.MustPut([]int64{rng.Int63n(100) + 1}, []array.Value{array.IntValue(rng.Int63n(100))})
+	}
+	// Rechunk to a coarser grid keyed on the attribute.
+	out, err := Rechunk(a, array.MustParseSchema("<i:int>[v=0,99,25]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CellCount() != 100 {
+		t.Errorf("rechunk lost cells: %d", out.CellCount())
+	}
+	sorted := Sort(out)
+	for _, ch := range sorted.Chunks {
+		if !ch.IsSortedCOrder() {
+			t.Error("Sort left an unsorted chunk")
+		}
+	}
+}
+
+func TestMergePaperWorkflow(t *testing.T) {
+	// merge(A, redim(B, <...>)) — the Section 2.3.1 workflow, end to end.
+	a := figure1(t)
+	b := array.MustNew(array.MustParseSchema("B<w1:int, w2:float, i:int>[j=1,6,3]"))
+	// Occupy positions matching three of A's occupied cells after redim:
+	// (i=1,j=2), (i=3,j=1), (i=6,j=3).
+	b.MustPut([]int64{2}, []array.Value{array.IntValue(100), array.FloatValue(1), array.IntValue(1)})
+	b.MustPut([]int64{1}, []array.Value{array.IntValue(200), array.FloatValue(2), array.IntValue(3)})
+	b.MustPut([]int64{3}, []array.Value{array.IntValue(300), array.FloatValue(3), array.IntValue(6)})
+	out, err := Eval(MustParse("merge(A, redim(B, <w1:int, w2:float>[i=1,6,3, j=1,6,3]))"),
+		Env{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CellCount() != 3 {
+		t.Fatalf("merge produced %d cells, want 3", out.CellCount())
+	}
+	vals, ok := out.Get([]int64{1, 2})
+	if !ok {
+		t.Fatal("missing merged cell (1,2)")
+	}
+	// A attrs then B attrs: v1=5, v2=3.0, w1=100, w2=1.
+	if vals[0].AsInt() != 5 || vals[2].AsInt() != 100 {
+		t.Errorf("merged cell = %v", vals)
+	}
+}
+
+func TestMergeRequiresSameShape(t *testing.T) {
+	a := figure1(t)
+	b := array.MustNew(array.MustParseSchema("B<v:int>[i=1,6,2]"))
+	if _, err := Merge(a, b); err == nil {
+		t.Error("merge of different shapes should fail")
+	}
+}
+
+func TestMergeAttributeCollisionRenamed(t *testing.T) {
+	a := figure1(t)
+	b := figure1(t)
+	b.Schema.Name = "B"
+	out, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, at := range out.Schema.Attrs {
+		if names[at.Name] {
+			t.Fatalf("duplicate attribute %q", at.Name)
+		}
+		names[at.Name] = true
+	}
+	if out.CellCount() != a.CellCount() {
+		t.Errorf("self-merge cells = %d, want %d", out.CellCount(), a.CellCount())
+	}
+}
+
+func TestCrossCartesianProduct(t *testing.T) {
+	a := array.MustNew(array.MustParseSchema("A<v:int>[i=1,4,2]"))
+	b := array.MustNew(array.MustParseSchema("B<w:int>[i=1,4,2]"))
+	for i := int64(1); i <= 3; i++ {
+		a.MustPut([]int64{i}, []array.Value{array.IntValue(i)})
+	}
+	for i := int64(1); i <= 2; i++ {
+		b.MustPut([]int64{i}, []array.Value{array.IntValue(i)})
+	}
+	out, err := Eval(MustParse("cross(A, B)"), Env{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CellCount() != 6 {
+		t.Errorf("cross produced %d cells, want 6", out.CellCount())
+	}
+	if len(out.Schema.Dims) != 2 {
+		t.Errorf("cross dims = %v", out.Schema.Dims)
+	}
+}
+
+func TestRedimRoundTripProperty(t *testing.T) {
+	// Redimensioning dim->attr->dim preserves the cell set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := array.MustNew(array.MustParseSchema("A<v:int>[i=1,50,10]"))
+		seen := map[int64]bool{}
+		for n := 0; n < 20; n++ {
+			c := rng.Int63n(50) + 1
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			a.MustPut([]int64{c}, []array.Value{array.IntValue(c % 7)})
+		}
+		// i becomes an attribute of a v-dimensioned array, then back.
+		mid, err := Redimension(a, array.MustParseSchema("<i:int>[v=0,6,2]"))
+		if err != nil {
+			return false
+		}
+		back, err := Redimension(mid, array.MustParseSchema("<v:int>[i=1,50,10]"))
+		if err != nil {
+			return false
+		}
+		if back.CellCount() != a.CellCount() {
+			return false
+		}
+		ok := true
+		a.Scan(func(coords []int64, attrs []array.Value) bool {
+			got, found := back.Get(coords)
+			if !found || got[0].AsInt() != attrs[0].AsInt() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))",
+		"filter(A, v1 > 5)",
+		"project(sort(A), v1, v2)",
+		"cross(scan(A), B)",
+	}
+	for _, src := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		again, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", n.String(), err)
+		}
+		if n.String() != again.String() {
+			t.Errorf("round trip: %q != %q", n.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate(A)",
+		"merge(A)",
+		"filter(A)",
+		"filter(A, v1 ~ 3)",
+		"project(A)",
+		"redim(A, not a schema)",
+		"merge(A, B) trailing",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalUnknownArray(t *testing.T) {
+	if _, err := Eval(MustParse("sort(Missing)"), Env{}); err == nil {
+		t.Error("unknown array should error")
+	}
+}

@@ -1,0 +1,174 @@
+package afl
+
+import (
+	"fmt"
+	"math"
+
+	"shufflejoin/internal/array"
+)
+
+// Between selects the subarray inside the dimension window [lo, hi]
+// (inclusive, one bound pair per dimension) — SciDB's between operator.
+// The schema is unchanged; cells outside the window are dropped.
+func Between(a *array.Array, lo, hi []int64) (*array.Array, error) {
+	nd := len(a.Schema.Dims)
+	if len(lo) != nd || len(hi) != nd {
+		return nil, fmt.Errorf("afl: between needs %d bound pairs, got %d/%d", nd, len(lo), len(hi))
+	}
+	for d := 0; d < nd; d++ {
+		if lo[d] > hi[d] {
+			return nil, fmt.Errorf("afl: between bounds inverted on dimension %s", a.Schema.Dims[d].Name)
+		}
+	}
+	out := array.MustNew(a.Schema.Clone())
+	a.Scan(func(coords []int64, attrs []array.Value) bool {
+		for d := 0; d < nd; d++ {
+			if coords[d] < lo[d] || coords[d] > hi[d] {
+				return true
+			}
+		}
+		out.MustPut(coords, attrs)
+		return true
+	})
+	out.SortAll()
+	return out, nil
+}
+
+// ApplyExpr is the one-step arithmetic Apply supports: left op right,
+// where each operand is an attribute name or a numeric literal.
+type ApplyExpr struct {
+	Op          byte // + - * /
+	Left, Right ApplyOperand
+}
+
+// ApplyOperand is an attribute reference or a literal.
+type ApplyOperand struct {
+	Attr string // attribute (or dimension) name; empty for a literal
+	Lit  float64
+}
+
+func (o ApplyOperand) String() string {
+	if o.Attr != "" {
+		return o.Attr
+	}
+	return fmt.Sprintf("%g", o.Lit)
+}
+
+func (e ApplyExpr) String() string {
+	return fmt.Sprintf("%s %c %s", e.Left, e.Op, e.Right)
+}
+
+// Apply appends a computed attribute to every cell — SciDB's apply
+// operator restricted to one binary arithmetic step. Operands may name
+// attributes or dimensions of the source.
+func Apply(a *array.Array, name string, expr ApplyExpr) (*array.Array, error) {
+	s := a.Schema.Clone()
+	if s.HasAttr(name) || s.HasDim(name) {
+		return nil, fmt.Errorf("afl: apply output name %q already exists", name)
+	}
+	t := array.TypeFloat64
+	if expr.Op != '/' && operandIsInt(a.Schema, expr.Left) && operandIsInt(a.Schema, expr.Right) {
+		t = array.TypeInt64
+	}
+	s.Attrs = append(s.Attrs, array.Attribute{Name: name, Type: t})
+	out, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := operandReader(a.Schema, expr.Left)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := operandReader(a.Schema, expr.Right)
+	if err != nil {
+		return nil, err
+	}
+	a.Scan(func(coords []int64, attrs []array.Value) bool {
+		x, y := lv(coords, attrs), rv(coords, attrs)
+		var v float64
+		switch expr.Op {
+		case '+':
+			v = x + y
+		case '-':
+			v = x - y
+		case '*':
+			v = x * y
+		case '/':
+			if y == 0 {
+				v = math.NaN()
+			} else {
+				v = x / y
+			}
+		}
+		var nv array.Value
+		if t == array.TypeInt64 {
+			nv = array.IntValue(int64(v))
+		} else {
+			nv = array.FloatValue(v)
+		}
+		out.MustPut(coords, append(append([]array.Value(nil), attrs...), nv))
+		return true
+	})
+	out.SortAll()
+	return out, nil
+}
+
+func operandIsInt(s *array.Schema, o ApplyOperand) bool {
+	if o.Attr == "" {
+		return o.Lit == math.Trunc(o.Lit)
+	}
+	if s.HasDim(o.Attr) {
+		return true
+	}
+	if i := s.AttrIndex(o.Attr); i >= 0 {
+		return s.Attrs[i].Type == array.TypeInt64
+	}
+	return false
+}
+
+func operandReader(s *array.Schema, o ApplyOperand) (func(coords []int64, attrs []array.Value) float64, error) {
+	if o.Attr == "" {
+		lit := o.Lit
+		return func([]int64, []array.Value) float64 { return lit }, nil
+	}
+	if d := s.DimIndex(o.Attr); d >= 0 {
+		return func(coords []int64, _ []array.Value) float64 { return float64(coords[d]) }, nil
+	}
+	if i := s.AttrIndex(o.Attr); i >= 0 {
+		return func(_ []int64, attrs []array.Value) float64 { return attrs[i].AsFloat() }, nil
+	}
+	return nil, fmt.Errorf("afl: apply operand %q not in %s", o.Attr, s.Name)
+}
+
+// Rename returns a copy of the array with the given field (attribute or
+// dimension) renamed — SciDB's attribute_rename / cast applied to one
+// name. Data is shared structurally (chunks are cloned shallowly through
+// Clone) but the schema is fresh.
+func Rename(a *array.Array, from, to string) (*array.Array, error) {
+	if from == to {
+		return a.Clone(), nil
+	}
+	s := a.Schema.Clone()
+	if s.HasDim(to) || s.HasAttr(to) {
+		return nil, fmt.Errorf("afl: rename target %q already exists", to)
+	}
+	switch {
+	case s.HasDim(from):
+		s.Dims[s.DimIndex(from)].Name = to
+	case s.HasAttr(from):
+		s.Attrs[s.AttrIndex(from)].Name = to
+	default:
+		return nil, fmt.Errorf("afl: rename source %q not in %s", from, s.Name)
+	}
+	out := a.Clone()
+	out.Schema = s
+	return out, nil
+}
+
+// CastName renames the array itself (the "cast" every SciDB workflow uses
+// before self joins).
+func CastName(a *array.Array, name string) *array.Array {
+	out := a.Clone()
+	out.Schema = out.Schema.Rename(name)
+	return out
+}

@@ -1,0 +1,199 @@
+package afl
+
+import (
+	"math"
+	"testing"
+
+	"shufflejoin/internal/array"
+)
+
+func TestBetweenWindow(t *testing.T) {
+	a := figure1(t)
+	out, err := Eval(MustParse("between(A, 2, 1, 4, 2)"), Env{"A": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window i in [2,4], j in [1,2]: occupied cells (2,1)(2,2)(3,1)(3,2)(4,1)(4,2).
+	if out.CellCount() != 6 {
+		t.Errorf("between kept %d cells, want 6", out.CellCount())
+	}
+	out.Scan(func(coords []int64, _ []array.Value) bool {
+		if coords[0] < 2 || coords[0] > 4 || coords[1] < 1 || coords[1] > 2 {
+			t.Errorf("cell %v outside window", coords)
+		}
+		return true
+	})
+}
+
+func TestBetweenErrors(t *testing.T) {
+	a := figure1(t)
+	if _, err := Between(a, []int64{1}, []int64{2}); err == nil {
+		t.Error("wrong bound arity should fail")
+	}
+	if _, err := Between(a, []int64{5, 1}, []int64{2, 6}); err == nil {
+		t.Error("inverted bounds should fail")
+	}
+	if _, err := Parse("between(A, 1, 2, 3)"); err == nil {
+		t.Error("odd bound count should fail to parse")
+	}
+}
+
+func TestApplyComputedAttribute(t *testing.T) {
+	a := figure1(t)
+	out, err := Eval(MustParse("apply(A, scaled, v1 * 10)"), Env{"A": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Schema.HasAttr("scaled") {
+		t.Fatalf("schema = %v", out.Schema)
+	}
+	if out.Schema.Attrs[2].Type != array.TypeInt64 {
+		t.Errorf("int*int should stay int, got %v", out.Schema.Attrs[2].Type)
+	}
+	out.Scan(func(_ []int64, attrs []array.Value) bool {
+		if attrs[2].AsInt() != attrs[0].AsInt()*10 {
+			t.Errorf("scaled = %v, want %v", attrs[2], attrs[0].AsInt()*10)
+		}
+		return true
+	})
+}
+
+func TestApplyWithDimensionOperand(t *testing.T) {
+	a := figure1(t)
+	out, err := Apply(a, "isum", ApplyExpr{Op: '+', Left: ApplyOperand{Attr: "i"}, Right: ApplyOperand{Attr: "j"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Scan(func(coords []int64, attrs []array.Value) bool {
+		if attrs[2].AsInt() != coords[0]+coords[1] {
+			t.Errorf("isum at %v = %v", coords, attrs[2])
+		}
+		return true
+	})
+}
+
+func TestApplyDivisionIsFloat(t *testing.T) {
+	a := figure1(t)
+	out, err := Eval(MustParse("apply(A, ratio, v2 / v1)"), Env{"A": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Attrs[2].Type != array.TypeFloat64 {
+		t.Errorf("division should be float, got %v", out.Schema.Attrs[2].Type)
+	}
+	// v1=0 cells divide by zero -> NaN, not a crash.
+	nan := 0
+	out.Scan(func(_ []int64, attrs []array.Value) bool {
+		if math.IsNaN(attrs[2].AsFloat()) {
+			nan++
+		}
+		return true
+	})
+	if nan == 0 {
+		t.Error("expected NaN cells from zero divisors in Figure 1 data")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	a := figure1(t)
+	if _, err := Apply(a, "v1", ApplyExpr{Op: '+', Left: ApplyOperand{Attr: "v1"}, Right: ApplyOperand{Lit: 1}}); err == nil {
+		t.Error("duplicate output name should fail")
+	}
+	if _, err := Apply(a, "x", ApplyExpr{Op: '+', Left: ApplyOperand{Attr: "nope"}, Right: ApplyOperand{Lit: 1}}); err == nil {
+		t.Error("unknown operand should fail")
+	}
+}
+
+func TestBetweenApplyRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"between(A, 2, 1, 4, 2)",
+		"apply(A, s, v1 + v2)",
+		"apply(between(A, 1, 1, 3, 3), s, v1 * 2)",
+	} {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		again, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", n.String(), err)
+		}
+		if n.String() != again.String() {
+			t.Errorf("round trip: %q != %q", n.String(), again.String())
+		}
+	}
+}
+
+// NDVI as an AFL workflow: merge two bands, then apply the index — the
+// kind of operator composition Section 2.2 motivates.
+func TestNDVIWorkflow(t *testing.T) {
+	mk := func(name string, base float64) *array.Array {
+		a := array.MustNew(array.MustParseSchema(name + "<reflectance:float>[x=1,10,5]"))
+		for x := int64(1); x <= 10; x++ {
+			a.MustPut([]int64{x}, []array.Value{array.FloatValue(base + float64(x))})
+		}
+		return a
+	}
+	env := Env{"Band1": mk("Band1", 0), "Band2": mk("Band2", 100)}
+	merged, err := Eval(MustParse("merge(Band1, Band2)"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env["M"] = merged
+	diff, err := Eval(MustParse("apply(M, diff, reflectance_2 - reflectance)"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff.Scan(func(_ []int64, attrs []array.Value) bool {
+		if attrs[2].AsFloat() != 100 {
+			t.Errorf("band difference = %v, want 100", attrs[2])
+		}
+		return true
+	})
+}
+
+func TestRenameField(t *testing.T) {
+	a := figure1(t)
+	out, err := Rename(a, "v1", "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Schema.HasAttr("value") || out.Schema.HasAttr("v1") {
+		t.Errorf("schema = %v", out.Schema)
+	}
+	if out.CellCount() != a.CellCount() {
+		t.Error("rename changed data")
+	}
+	out2, err := Rename(a, "i", "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Schema.HasDim("row") {
+		t.Errorf("dim rename failed: %v", out2.Schema)
+	}
+	if _, err := Rename(a, "v1", "v2"); err == nil {
+		t.Error("collision should fail")
+	}
+	if _, err := Rename(a, "nope", "x"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	same, err := Rename(a, "v1", "v1")
+	if err != nil || same.CellCount() != a.CellCount() {
+		t.Error("identity rename should clone")
+	}
+}
+
+func TestCastNameEnablesSelfJoin(t *testing.T) {
+	a := figure1(t)
+	b := CastName(a, "A2")
+	if b.Schema.Name != "A2" || a.Schema.Name != "A" {
+		t.Error("CastName should copy")
+	}
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.CellCount() != a.CellCount() {
+		t.Errorf("self-merge cells = %d", merged.CellCount())
+	}
+}

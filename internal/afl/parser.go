@@ -1,0 +1,346 @@
+package afl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"shufflejoin/internal/array"
+)
+
+// Parse parses an AFL operator expression, e.g.
+//
+//	merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))
+//	filter(A, v1 > 5)
+//	project(sort(A), v1, v2)
+func Parse(src string) (*Node, error) {
+	p := &aflParser{src: src}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("afl: %w", err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("afl: trailing input at offset %d", p.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error, for tests and examples.
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type aflParser struct {
+	src string
+	pos int
+}
+
+func (p *aflParser) skipSpace() {
+	for p.pos < len(p.src) && strings.ContainsRune(" \t\r\n", rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *aflParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *aflParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *aflParser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *aflParser) parseExpr() (*Node, error) {
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return &Node{Op: "array", Name: name}, nil
+	}
+	p.pos++
+	op := strings.ToLower(name)
+	n := &Node{Op: op}
+	switch op {
+	case "scan", "sort":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{arg}
+	case "merge", "cross":
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{a, b}
+	case "redim", "rechunk", "redimension":
+		if op == "redimension" {
+			n.Op = "redim"
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		schema, err := p.parseSchema()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{arg}
+		n.Schema = schema
+	case "between":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{arg}
+		var bounds []int64
+		for {
+			p.skipSpace()
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			bounds = append(bounds, v.AsInt())
+		}
+		if len(bounds) == 0 || len(bounds)%2 != 0 {
+			return nil, fmt.Errorf("between needs an even number of bounds, got %d", len(bounds))
+		}
+		n.Lo = bounds[:len(bounds)/2]
+		n.Hi = bounds[len(bounds)/2:]
+	case "apply":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		name := p.ident()
+		if name == "" {
+			return nil, fmt.Errorf("apply needs an output attribute name at offset %d", p.pos)
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		expr, err := p.parseApplyExpr()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{arg}
+		n.AName = name
+		n.AExpr = expr
+	case "filter":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{arg}
+		n.Cond = cond
+	case "project":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = []*Node{arg}
+		for {
+			p.skipSpace()
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+			f := p.ident()
+			if f == "" {
+				return nil, fmt.Errorf("expected field name at offset %d", p.pos)
+			}
+			n.Fields = append(n.Fields, f)
+		}
+		if len(n.Fields) == 0 {
+			return nil, fmt.Errorf("project needs at least one field")
+		}
+	default:
+		return nil, fmt.Errorf("unknown operator %q", name)
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// parseSchema consumes a schema literal: optional name, then <attrs>[dims].
+func (p *aflParser) parseSchema() (*array.Schema, error) {
+	p.skipSpace()
+	start := p.pos
+	depth := 0
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '<' || c == '[' {
+			depth++
+		}
+		if c == '>' || c == ']' {
+			depth--
+		}
+		if depth == 0 && (c == ')' || c == ',') && p.pos > start {
+			// End of the literal only when brackets are balanced and we
+			// have consumed at least the closing ']'.
+			if strings.ContainsAny(p.src[start:p.pos], "]>") {
+				break
+			}
+		}
+		p.pos++
+	}
+	raw := strings.TrimSpace(p.src[start:p.pos])
+	return array.ParseSchema(raw)
+}
+
+// parseApplyExpr parses "operand op operand" where operands are attribute
+// names or numeric literals.
+func (p *aflParser) parseApplyExpr() (*ApplyExpr, error) {
+	left, err := p.parseApplyOperand()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	op := p.peek()
+	if op != '+' && op != '-' && op != '*' && op != '/' {
+		return nil, fmt.Errorf("expected arithmetic operator at offset %d", p.pos)
+	}
+	p.pos++
+	right, err := p.parseApplyOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &ApplyExpr{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *aflParser) parseApplyOperand() (ApplyOperand, error) {
+	p.skipSpace()
+	c := p.peek()
+	if c >= '0' && c <= '9' || c == '.' {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return ApplyOperand{}, err
+		}
+		return ApplyOperand{Lit: v.AsFloat()}, nil
+	}
+	name := p.ident()
+	if name == "" {
+		return ApplyOperand{}, fmt.Errorf("expected apply operand at offset %d", p.pos)
+	}
+	return ApplyOperand{Attr: name}, nil
+}
+
+func (p *aflParser) parseCondition() (*Condition, error) {
+	attr := p.ident()
+	if attr == "" {
+		return nil, fmt.Errorf("expected attribute at offset %d", p.pos)
+	}
+	p.skipSpace()
+	opStart := p.pos
+	for p.pos < len(p.src) && strings.ContainsRune("<>=!", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	op := p.src[opStart:p.pos]
+	if op == "" {
+		return nil, fmt.Errorf("expected comparison operator at offset %d", p.pos)
+	}
+	p.skipSpace()
+	val, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &Condition{Attr: attr, Op: op, Val: val}, nil
+}
+
+func (p *aflParser) parseLiteral() (array.Value, error) {
+	p.skipSpace()
+	if p.peek() == '\'' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return array.Value{}, fmt.Errorf("unterminated string literal")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return array.StringValue(s), nil
+	}
+	start := p.pos
+	if p.peek() == '-' || p.peek() == '+' {
+		p.pos++
+	}
+	isFloat := false
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+		if p.src[p.pos] == '.' {
+			isFloat = true
+		}
+		p.pos++
+	}
+	txt := p.src[start:p.pos]
+	if txt == "" || txt == "-" || txt == "+" {
+		return array.Value{}, fmt.Errorf("expected literal at offset %d", start)
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(txt, 64)
+		if err != nil {
+			return array.Value{}, err
+		}
+		return array.FloatValue(f), nil
+	}
+	n, err := strconv.ParseInt(txt, 10, 64)
+	if err != nil {
+		return array.Value{}, err
+	}
+	return array.IntValue(n), nil
+}

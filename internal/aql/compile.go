@@ -1,0 +1,257 @@
+package aql
+
+import (
+	"fmt"
+	"math"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/exec"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+)
+
+// Compiled is a query lowered against concrete source schemas, ready to
+// hand to the shuffle join executor.
+type Compiled struct {
+	Query *Query
+	Out   *array.Schema // destination τ (nil only for SELECT * with no INTO)
+	Pred  join.Predicate
+	// ExtraCarryLeft/Right name attribute columns referenced by SELECT
+	// expressions, per side.
+	ExtraCarryLeft, ExtraCarryRight []string
+	// ProjectFactory builds the attribute projector once the join schema
+	// is known; nil for SELECT *.
+	ProjectFactory func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error)
+}
+
+// Compile resolves a parsed query against the source schemas.
+func Compile(q *Query, left, right *array.Schema) (*Compiled, error) {
+	if q.Left != left.Name || q.Right != right.Name {
+		return nil, fmt.Errorf("aql: query joins %s and %s, given schemas %s and %s",
+			q.Left, q.Right, left.Name, right.Name)
+	}
+	c := &Compiled{Query: q, Pred: q.Pred}
+	if q.Star {
+		c.Out = q.Into // nil means Equation-3 default
+		return c, nil
+	}
+
+	// Column references in expressions become carry requirements.
+	var cols []ColRef
+	for _, item := range q.Select {
+		cols = item.Expr.columns(cols)
+	}
+	for _, col := range cols {
+		side, err := sideOf(col, left, right)
+		if err != nil {
+			return nil, err
+		}
+		s := left
+		if side == 1 {
+			s = right
+		}
+		if !s.HasDim(col.Name) && !s.HasAttr(col.Name) {
+			return nil, fmt.Errorf("aql: column %s not found in %s", col, s.Name)
+		}
+		if s.AttrIndex(col.Name) >= 0 {
+			if side == 0 {
+				c.ExtraCarryLeft = append(c.ExtraCarryLeft, col.Name)
+			} else {
+				c.ExtraCarryRight = append(c.ExtraCarryRight, col.Name)
+			}
+		}
+	}
+
+	// Destination schema: INTO wins; otherwise derive it — the paper's
+	// default join output keeps the sources' dimension space (Equation 3)
+	// with one attribute per SELECT item.
+	if q.Into != nil {
+		c.Out = q.Into
+		if len(q.Into.Attrs) != len(q.Select) {
+			return nil, fmt.Errorf("aql: INTO schema has %d attributes, SELECT list has %d",
+				len(q.Into.Attrs), len(q.Select))
+		}
+	} else {
+		rp, err := join.ResolvePredicate(left, right, q.Pred)
+		if err != nil {
+			return nil, err
+		}
+		def := logical.DefaultOutputSchema(left, right, rp)
+		out := &array.Schema{Name: def.Name, Dims: def.Dims}
+		for i, item := range q.Select {
+			out.Attrs = append(out.Attrs, array.Attribute{
+				Name: item.Name(i),
+				Type: exprType(item.Expr, left, right),
+			})
+		}
+		c.Out = out
+	}
+
+	// Projection factory: compile each expression to an evaluator over
+	// matched tuple pairs.
+	items := q.Select
+	outAttrs := c.Out.Attrs
+	c.ProjectFactory = func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error) {
+		evals := make([]evalFunc, len(items))
+		for i, item := range items {
+			ev, err := compileExpr(item.Expr, js)
+			if err != nil {
+				return nil, err
+			}
+			evals[i] = ev
+		}
+		return func(l, r *join.Tuple) []array.Value {
+			out := make([]array.Value, len(evals))
+			for i, ev := range evals {
+				v := ev(l, r)
+				if outAttrs[i].Type == array.TypeInt64 && v.Kind == array.TypeFloat64 {
+					v = array.IntValue(v.AsInt())
+				}
+				out[i] = v
+			}
+			return out
+		}, nil
+	}
+	return c, nil
+}
+
+// ExecOptions folds the compiled query into executor options.
+func (c *Compiled) ExecOptions(base exec.Options) exec.Options {
+	base.ExtraCarryLeft = append(base.ExtraCarryLeft, c.ExtraCarryLeft...)
+	base.ExtraCarryRight = append(base.ExtraCarryRight, c.ExtraCarryRight...)
+	base.ProjectFactory = c.ProjectFactory
+	return base
+}
+
+func sideOf(col ColRef, left, right *array.Schema) (int, error) {
+	if col.Array != "" {
+		switch col.Array {
+		case left.Name:
+			return 0, nil
+		case right.Name:
+			return 1, nil
+		default:
+			return 0, fmt.Errorf("aql: column %s references unknown array", col)
+		}
+	}
+	inLeft := left.HasDim(col.Name) || left.HasAttr(col.Name)
+	inRight := right.HasDim(col.Name) || right.HasAttr(col.Name)
+	switch {
+	case inLeft:
+		return 0, nil
+	case inRight:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("aql: column %s not found in %s or %s", col, left.Name, right.Name)
+	}
+}
+
+// exprType infers the output scalar type of an expression.
+func exprType(e Expr, left, right *array.Schema) array.ScalarType {
+	switch x := e.(type) {
+	case ColRef:
+		for _, s := range []*array.Schema{left, right} {
+			if x.Array != "" && x.Array != s.Name {
+				continue
+			}
+			if s.HasDim(x.Name) {
+				return array.TypeInt64
+			}
+			if i := s.AttrIndex(x.Name); i >= 0 {
+				return s.Attrs[i].Type
+			}
+		}
+		return array.TypeInt64
+	case NumLit:
+		if x.IsInt {
+			return array.TypeInt64
+		}
+		return array.TypeFloat64
+	case NegExpr:
+		return exprType(x.E, left, right)
+	case BinExpr:
+		if x.Op == '/' {
+			return array.TypeFloat64
+		}
+		lt, rt := exprType(x.L, left, right), exprType(x.R, left, right)
+		if lt == array.TypeFloat64 || rt == array.TypeFloat64 {
+			return array.TypeFloat64
+		}
+		return array.TypeInt64
+	}
+	return array.TypeFloat64
+}
+
+type evalFunc func(l, r *join.Tuple) array.Value
+
+// compileExpr lowers an expression to an evaluator bound to the join
+// schema's carried columns.
+func compileExpr(e Expr, js *logical.JoinSchema) (evalFunc, error) {
+	switch x := e.(type) {
+	case ColRef:
+		acc, err := exec.Accessor(js, x.Array, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return evalFunc(acc), nil
+	case NumLit:
+		var v array.Value
+		if x.IsInt {
+			v = array.IntValue(int64(x.Val))
+		} else {
+			v = array.FloatValue(x.Val)
+		}
+		return func(l, r *join.Tuple) array.Value { return v }, nil
+	case NegExpr:
+		inner, err := compileExpr(x.E, js)
+		if err != nil {
+			return nil, err
+		}
+		return func(l, r *join.Tuple) array.Value {
+			v := inner(l, r)
+			if v.Kind == array.TypeInt64 {
+				return array.IntValue(-v.Int)
+			}
+			return array.FloatValue(-v.AsFloat())
+		}, nil
+	case BinExpr:
+		lf, err := compileExpr(x.L, js)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := compileExpr(x.R, js)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(l, r *join.Tuple) array.Value {
+			a, b := lf(l, r), rf(l, r)
+			bothInt := a.Kind == array.TypeInt64 && b.Kind == array.TypeInt64
+			switch op {
+			case '+':
+				if bothInt {
+					return array.IntValue(a.Int + b.Int)
+				}
+				return array.FloatValue(a.AsFloat() + b.AsFloat())
+			case '-':
+				if bothInt {
+					return array.IntValue(a.Int - b.Int)
+				}
+				return array.FloatValue(a.AsFloat() - b.AsFloat())
+			case '*':
+				if bothInt {
+					return array.IntValue(a.Int * b.Int)
+				}
+				return array.FloatValue(a.AsFloat() * b.AsFloat())
+			case '/':
+				d := b.AsFloat()
+				if d == 0 {
+					return array.FloatValue(math.NaN())
+				}
+				return array.FloatValue(a.AsFloat() / d)
+			}
+			return array.Value{}
+		}, nil
+	}
+	return nil, fmt.Errorf("aql: unsupported expression %T", e)
+}

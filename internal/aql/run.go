@@ -1,0 +1,119 @@
+package aql
+
+import (
+	"fmt"
+
+	"shufflejoin/internal/afl"
+	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/exec"
+)
+
+// Run parses, compiles, and executes an AQL join query against the
+// cluster's catalog. Literal WHERE conjuncts (column OP literal) push down
+// as selections on their source arrays before the join.
+func Run(c *cluster.Cluster, query string, opt exec.Options) (*exec.Report, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.From) > 2 {
+		return nil, fmt.Errorf("aql: query joins %d arrays; use RunMulti", len(q.From))
+	}
+	dl, err := c.Catalog.Lookup(q.Left)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := c.Catalog.Lookup(q.Right)
+	if err != nil {
+		return nil, err
+	}
+	dl, dr, err = pushdownFilters(q, dl, dr)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := Compile(q, dl.Array.Schema, dr.Array.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return exec.RunDistributed(c, dl, dr, comp.Pred, comp.Out, comp.ExecOptions(opt))
+}
+
+// pushdownFilters applies each literal filter to its source array,
+// preserving the surviving chunks' original placement (selection does not
+// move data between nodes).
+func pushdownFilters(q *Query, dl, dr *cluster.Distributed) (*cluster.Distributed, *cluster.Distributed, error) {
+	for _, f := range q.Filters {
+		var target **cluster.Distributed
+		switch {
+		case f.Col.Array == dl.Array.Schema.Name:
+			target = &dl
+		case f.Col.Array == dr.Array.Schema.Name:
+			target = &dr
+		case f.Col.Array == "":
+			ls, rs := dl.Array.Schema, dr.Array.Schema
+			inL := ls.HasDim(f.Col.Name) || ls.HasAttr(f.Col.Name)
+			inR := rs.HasDim(f.Col.Name) || rs.HasAttr(f.Col.Name)
+			switch {
+			case inL && inR:
+				return nil, nil, fmt.Errorf("aql: filter column %s is ambiguous", f.Col)
+			case inL:
+				target = &dl
+			case inR:
+				target = &dr
+			default:
+				return nil, nil, fmt.Errorf("aql: filter column %s not found", f.Col)
+			}
+		default:
+			return nil, nil, fmt.Errorf("aql: filter references unknown array %s", f.Col.Array)
+		}
+		filtered, err := applyFilter(*target, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		*target = filtered
+	}
+	return dl, dr, nil
+}
+
+func applyFilter(d *cluster.Distributed, f Filter) (*cluster.Distributed, error) {
+	out, err := afl.Filter(d.Array, &afl.Condition{Attr: f.Col.Name, Op: f.Op, Val: f.Val})
+	if err != nil {
+		return nil, err
+	}
+	// Selection keeps cells where they were: reuse the placement of every
+	// surviving chunk.
+	p := make(cluster.Placement, len(out.Chunks))
+	for key := range out.Chunks {
+		p[key] = d.Placement[key]
+	}
+	return cluster.DistributeExplicit(out, p), nil
+}
+
+// Explain parses and compiles a two-way query, then returns the
+// optimizer's plan enumeration without executing.
+func Explain(c *cluster.Cluster, query string, opt exec.Options) (*exec.Explanation, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.From) > 2 {
+		return nil, fmt.Errorf("aql: EXPLAIN supports two-way joins")
+	}
+	dl, err := c.Catalog.Lookup(q.Left)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := c.Catalog.Lookup(q.Right)
+	if err != nil {
+		return nil, err
+	}
+	dl, dr, err = pushdownFilters(q, dl, dr)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := Compile(q, dl.Array.Schema, dr.Array.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Explain(c, dl, dr, comp.Pred, comp.Out, comp.ExecOptions(opt))
+}

@@ -1,0 +1,64 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchArray(b *testing.B, n int64) *Array {
+	b.Helper()
+	s := &Schema{
+		Name:  "A",
+		Dims:  []Dimension{{Name: "i", Start: 1, End: n, ChunkInterval: (n + 31) / 32}},
+		Attrs: []Attribute{{Name: "v", Type: TypeInt64}},
+	}
+	a := MustNew(s)
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(1); i <= n; i++ {
+		a.MustPut([]int64{i}, []Value{IntValue(rng.Int63())})
+	}
+	return a
+}
+
+func BenchmarkArrayPut(b *testing.B) {
+	s := MustParseSchema("A<v:int>[i=1,10000000,100000]")
+	a := MustNew(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord := int64(i%10_000_000) + 1
+		a.MustPut([]int64{coord}, []Value{IntValue(int64(i))})
+	}
+}
+
+func BenchmarkChunkSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ch := NewChunk("0,0", 2, []ScalarType{TypeInt64})
+		for k := 0; k < 50_000; k++ {
+			ch.AppendCell([]int64{rng.Int63n(1000), rng.Int63n(1000)}, []Value{IntValue(int64(k))})
+		}
+		b.StartTimer()
+		ch.Sort()
+	}
+}
+
+func BenchmarkArrayScan(b *testing.B) {
+	a := benchArray(b, 200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		a.Scan(func([]int64, []Value) bool { n++; return true })
+		if n != 200_000 {
+			b.Fatal("scan miscount")
+		}
+	}
+}
+
+func BenchmarkValueHashKey(b *testing.B) {
+	vals := []Value{IntValue(1234567), FloatValue(3.25), StringValue("shipping-lane")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vals[i%3].HashKey()
+	}
+}

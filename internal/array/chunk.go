@@ -1,0 +1,304 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ChunkKey identifies a logical chunk position in array space: one chunk
+// index per dimension, in dimension order. Keys are comparable and have a
+// canonical string encoding so they may be used as map keys.
+type ChunkKey string
+
+// MakeChunkKey encodes per-dimension chunk indices into a ChunkKey.
+func MakeChunkKey(idx []int64) ChunkKey {
+	var b strings.Builder
+	for i, v := range idx {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return ChunkKey(b.String())
+}
+
+// Indices decodes the per-dimension chunk indices of the key.
+func (k ChunkKey) Indices() []int64 {
+	if k == "" {
+		return nil
+	}
+	parts := strings.Split(string(k), ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		var v int64
+		fmt.Sscanf(p, "%d", &v)
+		out[i] = v
+	}
+	return out
+}
+
+// ChunkKeyOf returns the key of the chunk containing the given coordinates
+// under schema s. Coordinates must be in range (checked by Array.Put).
+func ChunkKeyOf(s *Schema, coords []int64) ChunkKey {
+	idx := make([]int64, len(s.Dims))
+	for i, d := range s.Dims {
+		idx[i] = d.ChunkIndex(coords[i])
+	}
+	return MakeChunkKey(idx)
+}
+
+// CompareCoords orders two coordinate vectors in C-order: the first
+// dimension is the outermost, the last the innermost. It is the cell sort
+// order within chunks (Section 2.1).
+func CompareCoords(a, b []int64) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Chunk is a stored multidimensional subarray: the occupied cells of one
+// logical chunk position. Storage is columnar ("vertically partitioned"):
+// coordinates are stored as one column per dimension and each attribute is
+// its own column, mirroring the on-disk layout of Figure 1(b).
+//
+// A chunk is either sorted (cells in C-order on the coordinates) or
+// unsorted; rechunk produces unsorted chunks, redimension sorted ones.
+type Chunk struct {
+	Key    ChunkKey
+	NDims  int
+	Coords [][]int64 // Coords[d][row]: coordinate of dimension d for each cell
+	Cols   []Column  // one column per attribute
+	Sorted bool
+}
+
+// Column is one vertically partitioned attribute column of a chunk.
+type Column struct {
+	Type ScalarType
+	Ints []int64   // used when Type == TypeInt64
+	Fs   []float64 // used when Type == TypeFloat64
+	Strs []string  // used when Type == TypeString
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t ScalarType) Column { return Column{Type: t} }
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case TypeInt64:
+		return len(c.Ints)
+	case TypeFloat64:
+		return len(c.Fs)
+	case TypeString:
+		return len(c.Strs)
+	}
+	return 0
+}
+
+// Append adds a value, converting between numeric kinds as needed.
+func (c *Column) Append(v Value) {
+	switch c.Type {
+	case TypeInt64:
+		c.Ints = append(c.Ints, v.AsInt())
+	case TypeFloat64:
+		c.Fs = append(c.Fs, v.AsFloat())
+	case TypeString:
+		c.Strs = append(c.Strs, v.String())
+	}
+}
+
+// Value returns the value at the given row.
+func (c *Column) Value(row int) Value {
+	switch c.Type {
+	case TypeInt64:
+		return IntValue(c.Ints[row])
+	case TypeFloat64:
+		return FloatValue(c.Fs[row])
+	case TypeString:
+		return StringValue(c.Strs[row])
+	}
+	return Value{}
+}
+
+// swap exchanges two rows of the column.
+func (c *Column) swap(i, j int) {
+	switch c.Type {
+	case TypeInt64:
+		c.Ints[i], c.Ints[j] = c.Ints[j], c.Ints[i]
+	case TypeFloat64:
+		c.Fs[i], c.Fs[j] = c.Fs[j], c.Fs[i]
+	case TypeString:
+		c.Strs[i], c.Strs[j] = c.Strs[j], c.Strs[i]
+	}
+}
+
+// NewChunk returns an empty chunk at the given position for a schema with
+// nDims dimensions and the given attribute types.
+func NewChunk(key ChunkKey, nDims int, attrTypes []ScalarType) *Chunk {
+	ch := &Chunk{Key: key, NDims: nDims, Sorted: true}
+	ch.Coords = make([][]int64, nDims)
+	ch.Cols = make([]Column, len(attrTypes))
+	for i, t := range attrTypes {
+		ch.Cols[i] = NewColumn(t)
+	}
+	return ch
+}
+
+// Len returns the number of occupied cells stored in the chunk.
+func (ch *Chunk) Len() int {
+	if ch.NDims == 0 {
+		if len(ch.Cols) > 0 {
+			return ch.Cols[0].Len()
+		}
+		return 0
+	}
+	return len(ch.Coords[0])
+}
+
+// AppendCell adds a cell. The chunk is marked unsorted unless the new cell
+// extends the existing C-order.
+func (ch *Chunk) AppendCell(coords []int64, attrs []Value) {
+	n := ch.Len()
+	if ch.Sorted && n > 0 {
+		last := make([]int64, ch.NDims)
+		for d := 0; d < ch.NDims; d++ {
+			last[d] = ch.Coords[d][n-1]
+		}
+		if CompareCoords(last, coords) > 0 {
+			ch.Sorted = false
+		}
+	}
+	for d := 0; d < ch.NDims; d++ {
+		ch.Coords[d] = append(ch.Coords[d], coords[d])
+	}
+	for i := range ch.Cols {
+		if i < len(attrs) {
+			ch.Cols[i].Append(attrs[i])
+		} else {
+			ch.Cols[i].Append(Value{Kind: ch.Cols[i].Type})
+		}
+	}
+}
+
+// Cell materializes the cell at a row (coordinates plus attribute values).
+func (ch *Chunk) Cell(row int) ([]int64, []Value) {
+	coords := make([]int64, ch.NDims)
+	for d := 0; d < ch.NDims; d++ {
+		coords[d] = ch.Coords[d][row]
+	}
+	attrs := make([]Value, len(ch.Cols))
+	for i := range ch.Cols {
+		attrs[i] = ch.Cols[i].Value(row)
+	}
+	return coords, attrs
+}
+
+// CoordsAt fills dst with the coordinates of the cell at row and returns it.
+func (ch *Chunk) CoordsAt(row int, dst []int64) []int64 {
+	if cap(dst) < ch.NDims {
+		dst = make([]int64, ch.NDims)
+	}
+	dst = dst[:ch.NDims]
+	for d := 0; d < ch.NDims; d++ {
+		dst[d] = ch.Coords[d][row]
+	}
+	return dst
+}
+
+// Sort sorts the chunk's cells into C-order on the coordinates. It is the
+// in-chunk sort invoked by the redimension operator; cost O(n log n) per
+// chunk (Table 1).
+func (ch *Chunk) Sort() {
+	if ch.Sorted || ch.NDims == 0 {
+		ch.Sorted = true
+		return
+	}
+	s := &chunkSorter{ch: ch}
+	sort.Stable(s)
+	ch.Sorted = true
+}
+
+// IsSortedCOrder verifies C-order by scanning (used by tests and the merge
+// join validator).
+func (ch *Chunk) IsSortedCOrder() bool {
+	n := ch.Len()
+	prev := make([]int64, ch.NDims)
+	cur := make([]int64, ch.NDims)
+	for row := 1; row < n; row++ {
+		prev = ch.CoordsAt(row-1, prev)
+		cur = ch.CoordsAt(row, cur)
+		if CompareCoords(prev, cur) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StoredBytes estimates the serialized size of the chunk: 8 bytes per
+// coordinate and numeric attribute value, string lengths for strings. The
+// database engine uses this as its transfer-size estimate.
+func (ch *Chunk) StoredBytes() int64 {
+	n := int64(ch.Len())
+	bytes := n * int64(ch.NDims) * 8
+	for i := range ch.Cols {
+		c := &ch.Cols[i]
+		switch c.Type {
+		case TypeInt64, TypeFloat64:
+			bytes += n * 8
+		case TypeString:
+			for _, s := range c.Strs {
+				bytes += int64(len(s)) + 4
+			}
+		}
+	}
+	return bytes
+}
+
+// Clone returns a deep copy of the chunk.
+func (ch *Chunk) Clone() *Chunk {
+	c := &Chunk{Key: ch.Key, NDims: ch.NDims, Sorted: ch.Sorted}
+	c.Coords = make([][]int64, len(ch.Coords))
+	for d := range ch.Coords {
+		c.Coords[d] = append([]int64(nil), ch.Coords[d]...)
+	}
+	c.Cols = make([]Column, len(ch.Cols))
+	for i := range ch.Cols {
+		src := &ch.Cols[i]
+		c.Cols[i] = Column{Type: src.Type}
+		c.Cols[i].Ints = append([]int64(nil), src.Ints...)
+		c.Cols[i].Fs = append([]float64(nil), src.Fs...)
+		c.Cols[i].Strs = append([]string(nil), src.Strs...)
+	}
+	return c
+}
+
+type chunkSorter struct {
+	ch *Chunk
+	a  []int64
+	b  []int64
+}
+
+func (s *chunkSorter) Len() int { return s.ch.Len() }
+
+func (s *chunkSorter) Less(i, j int) bool {
+	s.a = s.ch.CoordsAt(i, s.a)
+	s.b = s.ch.CoordsAt(j, s.b)
+	return CompareCoords(s.a, s.b) < 0
+}
+
+func (s *chunkSorter) Swap(i, j int) {
+	ch := s.ch
+	for d := 0; d < ch.NDims; d++ {
+		ch.Coords[d][i], ch.Coords[d][j] = ch.Coords[d][j], ch.Coords[d][i]
+	}
+	for c := range ch.Cols {
+		ch.Cols[c].swap(i, j)
+	}
+}

@@ -1,0 +1,230 @@
+package array
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dimension describes one named dimension of an array schema: a contiguous
+// range of integer coordinate values [Start, End] divided into logical
+// chunks of ChunkInterval coordinates each. Dimensions are ordered; the
+// order determines the C-order traversal used inside chunks.
+type Dimension struct {
+	Name          string
+	Start, End    int64 // inclusive range of coordinate values
+	ChunkInterval int64 // coordinates per chunk along this dimension
+}
+
+// Extent returns the number of potential coordinate values of the dimension.
+func (d Dimension) Extent() int64 { return d.End - d.Start + 1 }
+
+// ChunkCount returns the number of logical chunks along the dimension.
+func (d Dimension) ChunkCount() int64 {
+	e := d.Extent()
+	return (e + d.ChunkInterval - 1) / d.ChunkInterval
+}
+
+// ChunkIndex returns the zero-based index of the chunk containing coord.
+func (d Dimension) ChunkIndex(coord int64) int64 {
+	return (coord - d.Start) / d.ChunkInterval
+}
+
+// Contains reports whether coord lies inside the dimension range.
+func (d Dimension) Contains(coord int64) bool {
+	return coord >= d.Start && coord <= d.End
+}
+
+// Validate checks the dimension for internal consistency.
+func (d Dimension) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("array: dimension with empty name")
+	}
+	if d.End < d.Start {
+		return fmt.Errorf("array: dimension %s has End %d < Start %d", d.Name, d.End, d.Start)
+	}
+	if d.ChunkInterval <= 0 {
+		return fmt.Errorf("array: dimension %s has non-positive chunk interval %d", d.Name, d.ChunkInterval)
+	}
+	return nil
+}
+
+func (d Dimension) String() string {
+	return fmt.Sprintf("%s=%d,%d,%d", d.Name, d.Start, d.End, d.ChunkInterval)
+}
+
+// Attribute describes one named, typed attribute stored in each occupied
+// cell of an array.
+type Attribute struct {
+	Name string
+	Type ScalarType
+}
+
+func (a Attribute) String() string { return a.Name + ":" + a.Type.String() }
+
+// Schema is the logical schema of an array: its name, ordered dimensions,
+// and attributes. The printable form matches the paper's notation:
+//
+//	A<v1:int, v2:float>[i=1,6,3, j=1,6,3]
+type Schema struct {
+	Name  string
+	Dims  []Dimension
+	Attrs []Attribute
+}
+
+// Validate checks the schema: at least one dimension, unique names across
+// dimensions and attributes, and valid dimension ranges.
+func (s *Schema) Validate() error {
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("array: schema %s has no dimensions", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Dims)+len(s.Attrs))
+	for _, d := range s.Dims {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("array: schema %s repeats name %q", s.Name, d.Name)
+		}
+		seen[d.Name] = true
+	}
+	for _, a := range s.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("array: schema %s has attribute with empty name", s.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("array: schema %s repeats name %q", s.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// NumDims returns the dimensionality of the schema.
+func (s *Schema) NumDims() int { return len(s.Dims) }
+
+// DimIndex returns the position of the named dimension, or -1.
+func (s *Schema) DimIndex(name string) int {
+	for i, d := range s.Dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasDim reports whether the schema has a dimension with the given name.
+func (s *Schema) HasDim(name string) bool { return s.DimIndex(name) >= 0 }
+
+// HasAttr reports whether the schema has an attribute with the given name.
+func (s *Schema) HasAttr(name string) bool { return s.AttrIndex(name) >= 0 }
+
+// TotalChunks returns the number of logical chunk positions of the array
+// space (the product of per-dimension chunk counts).
+func (s *Schema) TotalChunks() int64 {
+	n := int64(1)
+	for _, d := range s.Dims {
+		n *= d.ChunkCount()
+	}
+	return n
+}
+
+// LogicalCells returns the number of logical cell positions (product of
+// dimension extents). This is the dense capacity, not the occupied count.
+func (s *Schema) LogicalCells() int64 {
+	n := int64(1)
+	for _, d := range s.Dims {
+		n *= d.Extent()
+	}
+	return n
+}
+
+// CellsPerChunk returns the number of logical cells covered by one chunk
+// (product of chunk intervals, clipped to extents).
+func (s *Schema) CellsPerChunk() int64 {
+	n := int64(1)
+	for _, d := range s.Dims {
+		ci := d.ChunkInterval
+		if e := d.Extent(); ci > e {
+			ci = e
+		}
+		n *= ci
+	}
+	return n
+}
+
+// SameShape reports whether two schemas have identical dimension lists:
+// same names in the same order, same ranges and chunk intervals. Merge join
+// requires its operands to share a shape (Section 2.3.1 of the paper).
+func (s *Schema) SameShape(o *Schema) bool {
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i, d := range s.Dims {
+		od := o.Dims[i]
+		if d.Start != od.Start || d.End != od.End || d.ChunkInterval != od.ChunkInterval {
+			return false
+		}
+	}
+	return true
+}
+
+// SameShapeAligned is like SameShape but also requires matching dimension
+// names.
+func (s *Schema) SameShapeAligned(o *Schema) bool {
+	if !s.SameShape(o) {
+		return false
+	}
+	for i, d := range s.Dims {
+		if d.Name != o.Dims[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name}
+	c.Dims = append([]Dimension(nil), s.Dims...)
+	c.Attrs = append([]Attribute(nil), s.Attrs...)
+	return c
+}
+
+// Rename returns a copy of the schema with a new array name.
+func (s *Schema) Rename(name string) *Schema {
+	c := s.Clone()
+	c.Name = name
+	return c
+}
+
+// String renders the schema in the paper's notation.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('<')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(">[")
+	for i, d := range s.Dims {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(d.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,207 @@
+// Package array implements the Array Data Model (ADM) used by the shuffle
+// join framework: multidimensional sparse arrays whose cells are clustered
+// into chunks, sorted in C-order on their dimensions, with vertically
+// partitioned attribute storage.
+//
+// The model follows Section 2.1 of "Skew-Aware Join Optimization for Array
+// Databases" (SIGMOD 2015): an array has any number of named, ordered
+// dimensions, each a contiguous integer range divided into logical chunks by
+// a chunk interval, plus one or more typed attributes stored per occupied
+// cell. Only occupied cells are stored, which makes the representation
+// efficient for sparse arrays.
+package array
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ScalarType enumerates the attribute value types supported by the ADM.
+type ScalarType uint8
+
+const (
+	// TypeInt64 is a 64-bit signed integer attribute ("int" in schemas).
+	TypeInt64 ScalarType = iota
+	// TypeFloat64 is a 64-bit IEEE float attribute ("float" in schemas).
+	TypeFloat64
+	// TypeString is a variable-length string attribute ("string" in schemas).
+	TypeString
+)
+
+// String returns the schema spelling of the type.
+func (t ScalarType) String() string {
+	switch t {
+	case TypeInt64:
+		return "int"
+	case TypeFloat64:
+		return "float"
+	case TypeString:
+		return "string"
+	default:
+		return fmt.Sprintf("ScalarType(%d)", uint8(t))
+	}
+}
+
+// ParseScalarType converts a schema spelling ("int", "float", "string",
+// with "int64"/"double" accepted as aliases) to a ScalarType.
+func ParseScalarType(s string) (ScalarType, error) {
+	switch s {
+	case "int", "int64", "integer":
+		return TypeInt64, nil
+	case "float", "float64", "double":
+		return TypeFloat64, nil
+	case "string":
+		return TypeString, nil
+	default:
+		return 0, fmt.Errorf("array: unknown scalar type %q", s)
+	}
+}
+
+// Value is a scalar attribute value: a tagged union over the ADM types.
+// The zero Value is the integer 0.
+type Value struct {
+	Kind ScalarType
+	Int  int64
+	F    float64
+	Str  string
+}
+
+// IntValue returns an integer Value.
+func IntValue(v int64) Value { return Value{Kind: TypeInt64, Int: v} }
+
+// FloatValue returns a float Value.
+func FloatValue(v float64) Value { return Value{Kind: TypeFloat64, F: v} }
+
+// StringValue returns a string Value.
+func StringValue(v string) Value { return Value{Kind: TypeString, Str: v} }
+
+// String formats the value the way it would appear in query output.
+func (v Value) String() string {
+	switch v.Kind {
+	case TypeInt64:
+		return strconv.FormatInt(v.Int, 10)
+	case TypeFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.Str
+	default:
+		return "?"
+	}
+}
+
+// Equal reports whether two values compare equal under the equi-join
+// semantics of the ADM. Values of different kinds are compared numerically
+// when both are numeric (an int attribute may join a float attribute);
+// otherwise they are unequal.
+func (v Value) Equal(o Value) bool {
+	if v.Kind == o.Kind {
+		switch v.Kind {
+		case TypeInt64:
+			return v.Int == o.Int
+		case TypeFloat64:
+			return v.F == o.F
+		case TypeString:
+			return v.Str == o.Str
+		}
+		return false
+	}
+	if v.Kind == TypeString || o.Kind == TypeString {
+		return false
+	}
+	return v.AsFloat() == o.AsFloat()
+}
+
+// Compare orders two values: -1, 0, +1. Numeric kinds compare numerically;
+// strings compare lexicographically; a numeric value sorts before a string.
+func (v Value) Compare(o Value) int {
+	vs, os := v.Kind == TypeString, o.Kind == TypeString
+	switch {
+	case vs && os:
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		}
+		return 0
+	case vs:
+		return 1
+	case os:
+		return -1
+	}
+	a, b := v.AsFloat(), o.AsFloat()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// AsFloat converts a numeric value to float64. Strings parse if possible,
+// otherwise NaN.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case TypeInt64:
+		return float64(v.Int)
+	case TypeFloat64:
+		return v.F
+	case TypeString:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	}
+	return math.NaN()
+}
+
+// AsInt converts a numeric value to int64, truncating floats. String values
+// parse if possible, otherwise 0.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case TypeInt64:
+		return v.Int
+	case TypeFloat64:
+		return int64(v.F)
+	case TypeString:
+		n, err := strconv.ParseInt(v.Str, 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	return 0
+}
+
+// HashKey returns a canonical comparable key for use in join hash maps:
+// numerically equal int and float values share a key.
+func (v Value) HashKey() uint64 {
+	switch v.Kind {
+	case TypeInt64:
+		return mix64(uint64(v.Int))
+	case TypeFloat64:
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			return mix64(uint64(int64(v.F)))
+		}
+		return mix64(math.Float64bits(v.F))
+	case TypeString:
+		var h uint64 = 14695981039346656037 // FNV-1a
+		for i := 0; i < len(v.Str); i++ {
+			h ^= uint64(v.Str[i])
+			h *= 1099511628211
+		}
+		return h
+	}
+	return 0
+}
+
+// mix64 is a 64-bit finalizer (splitmix64) giving well-spread hash values.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

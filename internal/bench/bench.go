@@ -1,0 +1,289 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 6). Each experiment has a
+// typed runner returning the rows/series the paper reports, plus text
+// renderers used by cmd/expdriver and the repository's benchmarks.
+//
+// Scale note: the paper ran 100 GB arrays on physical clusters; these
+// experiments keep the paper's decision-space parameters (1024 join units,
+// 4,050 geo units, 4 or 2–12 nodes, Zipf α sweeps) while scaling cell
+// counts down. Durations are modeled seconds derived from the calibrated
+// per-cell cost parameters and the discrete-event network simulation, so
+// runs are deterministic; planning times are real wall-clock.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/physical"
+	"shufflejoin/internal/simnet"
+	"shufflejoin/internal/workload"
+)
+
+// Config parameterizes the synthetic physical-planner experiments.
+type Config struct {
+	Nodes        int   // cluster size (default 4)
+	Units        int   // join units (default 1024, as in Section 6.2)
+	CellsPerSide int64 // cells per input array (default 4M)
+	Seed         int64
+	ILPBudget    time.Duration // solver budget (default 2s; paper used 5 min)
+	CoarseBins   int           // default 75, as in Section 6.2
+	Params       physical.CostParams
+	Scheduling   simnet.Scheduling
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Units == 0 {
+		c.Units = 1024
+	}
+	if c.CellsPerSide == 0 {
+		c.CellsPerSide = 4 << 20
+	}
+	if c.ILPBudget == 0 {
+		c.ILPBudget = 2 * time.Second
+	}
+	if c.CoarseBins == 0 {
+		c.CoarseBins = 75
+	}
+	if c.Params == (physical.CostParams{}) {
+		c.Params = physical.DefaultParams()
+	}
+	return c
+}
+
+// PlannerNames is the paper's planner line-up, in figure order.
+var PlannerNames = []string{"B", "ILP", "ILP-C", "MBH", "Tabu"}
+
+// Planners instantiates the five physical planners of Section 6.2.
+func (c Config) Planners() map[string]physical.Planner {
+	c = c.withDefaults()
+	return map[string]physical.Planner{
+		"B":     physical.BaselinePlanner{},
+		"ILP":   physical.ILPPlanner{Budget: c.ILPBudget},
+		"ILP-C": physical.CoarseILPPlanner{Budget: c.ILPBudget, Bins: c.CoarseBins},
+		"MBH":   physical.MinBandwidthPlanner{},
+		"Tabu":  physical.TabuPlanner{},
+	}
+}
+
+// PhysMeasurement is one bar of Figures 7, 8, and 10: a planner's query
+// decomposed into planning, data alignment, and cell comparison.
+type PhysMeasurement struct {
+	Alpha      float64
+	Nodes      int
+	Planner    string
+	PlanSec    float64 // real planning wall-time
+	AlignSec   float64 // simulated shuffle makespan
+	CompSec    float64 // slowest node's modeled comparison time
+	TotalSec   float64
+	ModelCost  float64 // the analytical model's estimate (Equation 8)
+	CellsMoved int64
+	Optimal    bool // ILP planners: proved optimal within budget
+}
+
+// runModeled plans and simulates one query at the physical layer: slice
+// statistics in, phase timings out.
+func runModeled(cfg Config, algo join.Algorithm, left, right [][]int64, name string, planner physical.Planner) (PhysMeasurement, error) {
+	pr, err := physical.NewProblem(cfg.Nodes, algo, left, right, cfg.Params)
+	if err != nil {
+		return PhysMeasurement{}, err
+	}
+	res, err := planner.Plan(pr)
+	if err != nil {
+		return PhysMeasurement{}, err
+	}
+
+	var transfers []simnet.Transfer
+	for u := 0; u < pr.N; u++ {
+		dest := res.Assignment[u]
+		for j := 0; j < cfg.Nodes; j++ {
+			if j != dest && pr.Sizes[u][j] > 0 {
+				transfers = append(transfers, simnet.Transfer{From: j, To: dest, Cells: pr.Sizes[u][j], Tag: u})
+			}
+		}
+	}
+	align, err := simnet.Simulate(simnet.Config{
+		Nodes:       cfg.Nodes,
+		PerCellTime: cfg.Params.Transfer,
+		Scheduling:  cfg.Scheduling,
+	}, transfers)
+	if err != nil {
+		return PhysMeasurement{}, err
+	}
+
+	comp := make([]float64, cfg.Nodes)
+	for u := 0; u < pr.N; u++ {
+		comp[res.Assignment[u]] += pr.Comp[u]
+	}
+	var maxComp float64
+	for _, c := range comp {
+		if c > maxComp {
+			maxComp = c
+		}
+	}
+
+	m := PhysMeasurement{
+		Nodes:      cfg.Nodes,
+		Planner:    name,
+		PlanSec:    res.PlanTime.Seconds(),
+		AlignSec:   align.Makespan,
+		CompSec:    maxComp,
+		ModelCost:  res.Model.Total,
+		CellsMoved: pr.CellsMoved(res.Assignment),
+		Optimal:    res.Optimal,
+	}
+	m.TotalSec = m.PlanSec + m.AlignSec + m.CompSec
+	return m, nil
+}
+
+// slicesFor generates the slice statistics for one skew level.
+func slicesFor(cfg Config, algo join.Algorithm, alpha float64) (left, right [][]int64) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(alpha*1000)))
+	ls := workload.ZipfUnitSizes(cfg.Units, alpha, cfg.CellsPerSide, rng)
+	rs := workload.ZipfUnitSizes(cfg.Units, alpha, cfg.CellsPerSide, rng)
+	if algo == join.Merge {
+		return workload.MergeSlices(ls, rs, cfg.Nodes, rng)
+	}
+	return workload.HashSlices(ls, rs, cfg.Nodes, alpha, rng)
+}
+
+// SkewSweep runs one join algorithm across the Zipf sweep of Section 6.2
+// (Figures 7 and 8) for every planner.
+func SkewSweep(cfg Config, algo join.Algorithm, alphas []float64) ([]PhysMeasurement, error) {
+	cfg = cfg.withDefaults()
+	if len(alphas) == 0 {
+		alphas = []float64{0, 0.5, 1.0, 1.5, 2.0}
+	}
+	planners := cfg.Planners()
+	var out []PhysMeasurement
+	for _, alpha := range alphas {
+		left, right := slicesFor(cfg, algo, alpha)
+		for _, name := range PlannerNames {
+			m, err := runModeled(cfg, algo, left, right, name, planners[name])
+			if err != nil {
+				return nil, err
+			}
+			m.Alpha = alpha
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Fig7 reproduces Figure 7: merge join durations across skew levels and
+// planners. Expected shape: all planners comparable at α=0; MBH best
+// overall for merge joins.
+func Fig7(cfg Config) ([]PhysMeasurement, error) {
+	return SkewSweep(cfg, join.Merge, nil)
+}
+
+// Fig8 reproduces Figure 8: hash join durations across skew levels and
+// planners. Expected shape: Tabu best overall; MBH poor at slight skew
+// (α=0.5); the ILP solver misses its budget at slight skew.
+func Fig8(cfg Config) ([]PhysMeasurement, error) {
+	return SkewSweep(cfg, join.Hash, nil)
+}
+
+// Fig10 reproduces Figure 10: merge join at α=1.0 scaling from 2 to 12
+// nodes. Expected shape: skew-aware planners on 2 nodes beat the baseline
+// on 12; MBH best as the cluster grows.
+func Fig10(cfg Config, nodeCounts []int) ([]PhysMeasurement, error) {
+	cfg = cfg.withDefaults()
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{2, 4, 6, 8, 10, 12}
+	}
+	var out []PhysMeasurement
+	for _, k := range nodeCounts {
+		kcfg := cfg
+		kcfg.Nodes = k
+		planners := kcfg.Planners()
+		left, right := slicesFor(kcfg, join.Merge, 1.0)
+		for _, name := range PlannerNames {
+			m, err := runModeled(kcfg, join.Merge, left, right, name, planners[name])
+			if err != nil {
+				return nil, err
+			}
+			m.Alpha = 1.0
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// RenderPhys writes a figure's measurements as an aligned text table,
+// grouped the way the paper's bar charts are.
+func RenderPhys(w io.Writer, title, groupLabel string, rows []PhysMeasurement, group func(PhysMeasurement) string) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-8s %-6s %12s %12s %12s %12s %14s %8s\n",
+		groupLabel, "plan", "QueryPlan(s)", "DataAlign(s)", "CellComp(s)", "Total(s)", "ModelCost(s)", "Moved")
+	last := ""
+	for _, m := range rows {
+		g := group(m)
+		if g != last && last != "" {
+			fmt.Fprintln(w)
+		}
+		last = g
+		fmt.Fprintf(w, "%-8s %-6s %12.3f %12.3f %12.3f %12.3f %14.3f %8d\n",
+			g, m.Planner, m.PlanSec, m.AlignSec, m.CompSec, m.TotalSec, m.ModelCost, m.CellsMoved)
+	}
+	fmt.Fprintln(w)
+}
+
+// GroupByAlpha and GroupByNodes are the two grouping modes of the figures.
+func GroupByAlpha(m PhysMeasurement) string { return fmt.Sprintf("a=%.1f", m.Alpha) }
+
+// GroupByNodes groups scale-out measurements.
+func GroupByNodes(m PhysMeasurement) string { return fmt.Sprintf("k=%d", m.Nodes) }
+
+// BestPlannerPerGroup returns, per group, the planner with the lowest
+// total, used by shape assertions in tests and EXPERIMENTS.md.
+func BestPlannerPerGroup(rows []PhysMeasurement, group func(PhysMeasurement) string) map[string]string {
+	best := make(map[string]PhysMeasurement)
+	for _, m := range rows {
+		g := group(m)
+		if cur, ok := best[g]; !ok || m.TotalSec < cur.TotalSec {
+			best[g] = m
+		}
+	}
+	out := make(map[string]string, len(best))
+	for g, m := range best {
+		out[g] = m.Planner
+	}
+	return out
+}
+
+// Select filters measurements.
+func Select(rows []PhysMeasurement, pred func(PhysMeasurement) bool) []PhysMeasurement {
+	var out []PhysMeasurement
+	for _, m := range rows {
+		if pred(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SortRows orders rows by (alpha, nodes, planner order).
+func SortRows(rows []PhysMeasurement) {
+	rank := make(map[string]int, len(PlannerNames))
+	for i, n := range PlannerNames {
+		rank[n] = i
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Alpha != rows[j].Alpha {
+			return rows[i].Alpha < rows[j].Alpha
+		}
+		if rows[i].Nodes != rows[j].Nodes {
+			return rows[i].Nodes < rows[j].Nodes
+		}
+		return rank[rows[i].Planner] < rank[rows[j].Planner]
+	})
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/physical"
+)
+
+// Calibrate derives the cost model's compute parameters (m, b, p of
+// Section 5.1) empirically from this machine's real join implementations,
+// the way the paper derives them from the database's performance. The
+// network parameter t cannot be measured on a single machine; it is set to
+// keep the paper's regime — network transfer as the scarcest resource —
+// at the measured compute speed (t = 20·m).
+func Calibrate(cells int, seed int64) physical.CostParams {
+	if cells <= 0 {
+		cells = 200_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int, sorted bool) []join.Tuple {
+		ts := make([]join.Tuple, n)
+		for i := range ts {
+			var k int64
+			if sorted {
+				k = int64(i * 2) // distinct, ordered, ~50% match rate
+			} else {
+				k = rng.Int63n(int64(n) * 2)
+			}
+			ts[i] = join.Tuple{Key: []array.Value{array.IntValue(k)}}
+		}
+		return ts
+	}
+
+	// m: merge cursor steps per second over sorted sides.
+	left, right := mk(cells, true), mk(cells, true)
+	start := time.Now()
+	mst, _ := join.MergeJoin(left, right, nil)
+	m := time.Since(start).Seconds() / float64(mst.MergeSteps+mst.Matches+1)
+
+	// b and p: separate the build and probe phases of a hash join. Build
+	// cost comes from building alone; probe cost from a probe-heavy join
+	// (tiny build side) after subtracting the build share.
+	unsortedL, unsortedR := mk(cells, false), mk(cells, false)
+	start = time.Now()
+	join.HashJoinBuildSide(unsortedL, nil, nil)
+	b := time.Since(start).Seconds() / float64(cells)
+
+	start = time.Now()
+	st := join.HashJoinBuildSide(unsortedL[:1024], unsortedR, nil)
+	probeTime := time.Since(start).Seconds() - b*1024
+	if probeTime < 0 {
+		probeTime = 0
+	}
+	p := probeTime / float64(st.ProbeOps+1)
+
+	// Guard rails: keep the paper's orderings (b > p, m between them)
+	// even on noisy machines.
+	if p <= 0 {
+		p = m / 2
+	}
+	if b < 2*p {
+		b = 2 * p
+	}
+	return physical.CostParams{
+		Merge:    m,
+		Build:    b,
+		Probe:    p,
+		Transfer: 20 * m,
+	}
+}

@@ -1,0 +1,187 @@
+// Package cluster models the shared-nothing execution environment of the
+// paper's Section 2.1: a set of database instances (nodes), each holding a
+// local partition of every distributed array, plus a coordinator node that
+// manages the centralized system catalog (node list, array schemas, and
+// data distribution).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"shufflejoin/internal/array"
+)
+
+// NodeID identifies a cluster node. Nodes are numbered 0..K-1; the
+// coordinator role is held by node 0 (the role only matters for catalog
+// access, which is free in this in-process model).
+type NodeID = int
+
+// Placement assigns each stored chunk of an array to the node that hosts
+// it. Every stored chunk key of the array must appear exactly once.
+type Placement map[array.ChunkKey]NodeID
+
+// Distributed is an array partitioned over the cluster: the logical array
+// plus the chunk-to-node placement. The chunks themselves stay in the
+// Array; nodes address their local partition through the placement.
+type Distributed struct {
+	Array     *array.Array
+	Placement Placement
+}
+
+// LocalChunks returns the chunk keys hosted by the given node, in
+// deterministic (C-order) sequence.
+func (d *Distributed) LocalChunks(node NodeID) []array.ChunkKey {
+	var keys []array.ChunkKey
+	for _, k := range d.Array.SortedKeys() {
+		if d.Placement[k] == node {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// CellsOnNode returns the number of cells of the array hosted by each node.
+func (d *Distributed) CellsOnNode(k int) []int64 {
+	counts := make([]int64, k)
+	for key, ch := range d.Array.Chunks {
+		counts[d.Placement[key]] += int64(ch.Len())
+	}
+	return counts
+}
+
+// Validate checks that the placement covers exactly the stored chunks and
+// stays inside the cluster.
+func (d *Distributed) Validate(k int) error {
+	if len(d.Placement) != len(d.Array.Chunks) {
+		return fmt.Errorf("cluster: placement covers %d chunks, array stores %d",
+			len(d.Placement), len(d.Array.Chunks))
+	}
+	for key, node := range d.Placement {
+		if _, ok := d.Array.Chunks[key]; !ok {
+			return fmt.Errorf("cluster: placement names unknown chunk %s", key)
+		}
+		if node < 0 || node >= k {
+			return fmt.Errorf("cluster: chunk %s placed on node %d outside [0,%d)", key, node, k)
+		}
+	}
+	return nil
+}
+
+// PlacementPolicy decides which node hosts each chunk at load time.
+type PlacementPolicy int
+
+const (
+	// RoundRobin deals chunks to nodes in C-order of their keys: the
+	// default SciDB-style distribution.
+	RoundRobin PlacementPolicy = iota
+	// HashChunks places each chunk by a hash of its key, decorrelating
+	// placement from array space.
+	HashChunks
+)
+
+// Distribute partitions an array over k nodes with the given policy.
+func Distribute(a *array.Array, k int, policy PlacementPolicy) *Distributed {
+	p := make(Placement, len(a.Chunks))
+	keys := a.SortedKeys()
+	switch policy {
+	case HashChunks:
+		for _, key := range keys {
+			p[key] = int(hashString(string(key)) % uint64(k))
+		}
+	default:
+		for i, key := range keys {
+			p[key] = i % k
+		}
+	}
+	return &Distributed{Array: a, Placement: p}
+}
+
+// DistributeExplicit builds a Distributed with a caller-provided placement.
+func DistributeExplicit(a *array.Array, p Placement) *Distributed {
+	return &Distributed{Array: a, Placement: p}
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Catalog is the centralized system catalog hosted by the coordinator:
+// array schemas and distributions, keyed by array name.
+type Catalog struct {
+	arrays map[string]*Distributed
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{arrays: make(map[string]*Distributed)}
+}
+
+// Register records a distributed array. Re-registering a name replaces it.
+func (c *Catalog) Register(d *Distributed) {
+	c.arrays[d.Array.Schema.Name] = d
+}
+
+// Lookup finds a distributed array by name.
+func (c *Catalog) Lookup(name string) (*Distributed, error) {
+	d, ok := c.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: array %q not in catalog", name)
+	}
+	return d, nil
+}
+
+// Names lists the registered array names in sorted order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.arrays))
+	for n := range c.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cluster is a simulated shared-nothing cluster: K nodes plus the catalog.
+type Cluster struct {
+	K       int
+	Catalog *Catalog
+}
+
+// New returns a cluster of k nodes with an empty catalog.
+func New(k int) (*Cluster, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", k)
+	}
+	return &Cluster{K: k, Catalog: NewCatalog()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(k int) *Cluster {
+	c, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Load distributes an array over the cluster and registers it.
+func (c *Cluster) Load(a *array.Array, policy PlacementPolicy) *Distributed {
+	d := Distribute(a, c.K, policy)
+	c.Catalog.Register(d)
+	return d
+}
+
+// LoadExplicit registers an array with a caller-chosen placement.
+func (c *Cluster) LoadExplicit(a *array.Array, p Placement) (*Distributed, error) {
+	d := DistributeExplicit(a, p)
+	if err := d.Validate(c.K); err != nil {
+		return nil, err
+	}
+	c.Catalog.Register(d)
+	return d, nil
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"shufflejoin/internal/array"
+)
+
+func gridArray(t *testing.T, n, ci int64) *array.Array {
+	t.Helper()
+	s := array.MustParseSchema("G<v:int>[i=1,16,4, j=1,16,4]")
+	s.Dims[0].End, s.Dims[0].ChunkInterval = n, ci
+	s.Dims[1].End, s.Dims[1].ChunkInterval = n, ci
+	a := array.MustNew(s)
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			a.MustPut([]int64{i, j}, []array.Value{array.IntValue(i * j)})
+		}
+	}
+	return a
+}
+
+func TestDistributeRoundRobinCoversAllChunks(t *testing.T) {
+	a := gridArray(t, 16, 4) // 4x4 = 16 chunks
+	d := Distribute(a, 4, RoundRobin)
+	if err := d.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := make(map[int]int)
+	for _, n := range d.Placement {
+		counts[n]++
+	}
+	for node := 0; node < 4; node++ {
+		if counts[node] != 4 {
+			t.Errorf("node %d hosts %d chunks, want 4", node, counts[node])
+		}
+	}
+}
+
+func TestDistributeHashDeterministic(t *testing.T) {
+	a := gridArray(t, 16, 4)
+	d1 := Distribute(a, 4, HashChunks)
+	d2 := Distribute(a, 4, HashChunks)
+	for k, n := range d1.Placement {
+		if d2.Placement[k] != n {
+			t.Fatalf("hash placement not deterministic for %s", k)
+		}
+	}
+}
+
+func TestLocalChunksPartition(t *testing.T) {
+	a := gridArray(t, 16, 4)
+	d := Distribute(a, 3, RoundRobin)
+	seen := make(map[array.ChunkKey]bool)
+	for node := 0; node < 3; node++ {
+		for _, key := range d.LocalChunks(node) {
+			if seen[key] {
+				t.Fatalf("chunk %s on two nodes", key)
+			}
+			seen[key] = true
+		}
+	}
+	if len(seen) != a.ChunkCount() {
+		t.Errorf("local chunks cover %d chunks, want %d", len(seen), a.ChunkCount())
+	}
+}
+
+func TestCellsOnNodeSumsToTotal(t *testing.T) {
+	a := gridArray(t, 16, 4)
+	d := Distribute(a, 4, RoundRobin)
+	var sum int64
+	for _, c := range d.CellsOnNode(4) {
+		sum += c
+	}
+	if sum != a.CellCount() {
+		t.Errorf("per-node cells sum %d, want %d", sum, a.CellCount())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	a := gridArray(t, 8, 4)
+	d := Distribute(a, 2, RoundRobin)
+	// Out-of-range node.
+	for k := range d.Placement {
+		d.Placement[k] = 9
+		break
+	}
+	if err := d.Validate(2); err == nil {
+		t.Error("Validate accepted out-of-range node")
+	}
+	// Missing chunk.
+	d2 := Distribute(a, 2, RoundRobin)
+	for k := range d2.Placement {
+		delete(d2.Placement, k)
+		break
+	}
+	if err := d2.Validate(2); err == nil {
+		t.Error("Validate accepted incomplete placement")
+	}
+}
+
+func TestCatalogRegisterLookup(t *testing.T) {
+	c := MustNew(4)
+	a := gridArray(t, 8, 4)
+	c.Load(a, RoundRobin)
+	d, err := c.Catalog.Lookup("G")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if d.Array != a {
+		t.Error("Lookup returned a different array")
+	}
+	if _, err := c.Catalog.Lookup("missing"); err == nil {
+		t.Error("Lookup of unknown name should error")
+	}
+	if names := c.Catalog.Names(); len(names) != 1 || names[0] != "G" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestLoadExplicitValidates(t *testing.T) {
+	c := MustNew(2)
+	a := gridArray(t, 8, 4)
+	p := make(Placement)
+	for _, k := range a.SortedKeys() {
+		p[k] = 1
+	}
+	d, err := c.LoadExplicit(a, p)
+	if err != nil {
+		t.Fatalf("LoadExplicit: %v", err)
+	}
+	if got := d.CellsOnNode(2); got[0] != 0 || got[1] != a.CellCount() {
+		t.Errorf("CellsOnNode = %v", got)
+	}
+	bad := make(Placement)
+	if _, err := c.LoadExplicit(a, bad); err == nil {
+		t.Error("empty placement should fail validation")
+	}
+}
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+}

@@ -1,0 +1,620 @@
+// Package exec implements shuffle join execution (Sections 3.3–3.4 of the
+// paper): logical planning, slice mapping, physical planning, the
+// lock-scheduled data alignment shuffle, and per-node cell comparison,
+// ending with assembly of the destination array.
+//
+// Cell comparison runs for real — actual cells flow through the chosen
+// join algorithm and into the output array — while phase durations are
+// also modeled with the calibrated per-cell cost parameters and the
+// discrete-event network simulator, so experiments report cluster-scale
+// timings deterministically.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/physical"
+	"shufflejoin/internal/shuffle"
+	"shufflejoin/internal/simnet"
+	"shufflejoin/internal/stats"
+)
+
+// Options configures a shuffle join run.
+type Options struct {
+	// Planner assigns join units to nodes; defaults to the Minimum
+	// Bandwidth Heuristic.
+	Planner physical.Planner
+	// Logical tunes the logical plan enumeration (selectivity estimate,
+	// hash bucket count). Nodes is filled in from the cluster.
+	Logical logical.PlanOptions
+	// Params are the cost-model constants m, b, p, t; zero value uses
+	// DefaultParams.
+	Params physical.CostParams
+	// Scheduling selects the shuffle scheduler (default: greedy locks).
+	Scheduling simnet.Scheduling
+	// ForceAlgo restricts the logical planner to one join algorithm,
+	// used by experiments that compare algorithms directly.
+	ForceAlgo *join.Algorithm
+	// TargetCellsPerChunk tunes join-dimension inference.
+	TargetCellsPerChunk int64
+	// Parallel runs per-node cell comparison on real goroutines. Output is
+	// identical either way.
+	Parallel bool
+	// ExtraCarryLeft/ExtraCarryRight name additional source attributes to
+	// carry through the shuffle (columns referenced only by SELECT
+	// expressions).
+	ExtraCarryLeft, ExtraCarryRight []string
+	// ProjectFactory, when non-nil, builds a projector that computes the
+	// output attribute values of each match instead of name-based field
+	// mapping (SELECT expression evaluation). The factory runs after the
+	// join schema is inferred; build per-field accessors with Accessor.
+	// The returned function must be safe for concurrent use when Parallel
+	// is set.
+	ProjectFactory func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error)
+}
+
+// Accessor resolves a source field of the join into an extractor over
+// matched tuple pairs: dimensions read coordinates, attributes read carried
+// values. arrayName may be empty to search both sides (left first).
+func Accessor(js *logical.JoinSchema, arrayName, field string) (func(l, r *join.Tuple) array.Value, error) {
+	src := js.Pred
+	carry := [2]map[int]int{carryPositions(js.LeftCarry), carryPositions(js.RightCarry)}
+	schemas := [2]*array.Schema{src.Left, src.Right}
+	for side, s := range schemas {
+		if arrayName != "" && arrayName != s.Name {
+			continue
+		}
+		if i := s.DimIndex(field); i >= 0 {
+			side, i := side, i
+			return func(l, r *join.Tuple) array.Value {
+				t := l
+				if side == 1 {
+					t = r
+				}
+				return array.IntValue(t.Coords[i])
+			}, nil
+		}
+		if i := s.AttrIndex(field); i >= 0 {
+			pos, ok := carry[side][i]
+			if !ok {
+				return nil, fmt.Errorf("exec: attribute %s.%s is not carried through the shuffle", s.Name, field)
+			}
+			side, pos := side, pos
+			return func(l, r *join.Tuple) array.Value {
+				t := l
+				if side == 1 {
+					t = r
+				}
+				return t.Attrs[pos]
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("exec: no field %s.%s in join sources", arrayName, field)
+}
+
+// Report is the outcome of one shuffle join: the chosen plans, the modeled
+// phase durations (seconds), and the materialized output.
+type Report struct {
+	Logical  logical.Plan
+	Physical physical.Result
+
+	// Selectivity is the output-cardinality estimate the logical planner
+	// used: the caller's, or the catalog-statistics estimate when the
+	// caller supplied none.
+	Selectivity float64
+
+	// Modeled phase durations in seconds, mirroring the paper's figures:
+	// PlanTime is real planning wall-time; AlignTime is the simulated
+	// shuffle makespan; CompareTime is the slowest node's modeled cell
+	// comparison (including post-join output sorting when the plan calls
+	// for it).
+	PlanTime    float64
+	AlignTime   float64
+	CompareTime float64
+	Total       float64
+
+	Align      simnet.Result
+	JoinStats  join.Stats
+	Matches    int64
+	CellsMoved int64
+	Output     *array.Array
+	WallTime   time.Duration
+}
+
+// Run executes τ = left ⋈ right over the cluster.
+func Run(c *cluster.Cluster, leftName, rightName string, pred join.Predicate, out *array.Schema, opt Options) (*Report, error) {
+	dl, err := c.Catalog.Lookup(leftName)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := c.Catalog.Lookup(rightName)
+	if err != nil {
+		return nil, err
+	}
+	return RunDistributed(c, dl, dr, pred, out, opt)
+}
+
+// RunDistributed is Run for already-resolved distributed arrays.
+func RunDistributed(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) (*Report, error) {
+	wallStart := time.Now()
+	plans, sel, err := planLogical(c, dl, dr, pred, out, &opt)
+	if err != nil {
+		return nil, err
+	}
+	lp := plans[0]
+	if opt.ForceAlgo != nil {
+		found := false
+		for _, p := range plans {
+			if p.Algo == *opt.ForceAlgo {
+				lp, found = p, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("exec: no valid plan with algorithm %v", *opt.ForceAlgo)
+		}
+	}
+
+	rep, err := execute(c, dl, dr, &lp, opt, wallStart)
+	if err != nil {
+		return nil, err
+	}
+	rep.Selectivity = sel
+	return rep, nil
+}
+
+// planLogical performs the Section 4 planning prefix shared by execution
+// and Explain: source resolution, join-schema inference, selectivity
+// estimation, and plan enumeration. opt is normalized in place.
+func planLogical(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt *Options) ([]logical.Plan, float64, error) {
+	if opt.Planner == nil {
+		opt.Planner = physical.MinBandwidthPlanner{}
+	}
+	if opt.Params == (physical.CostParams{}) {
+		opt.Params = physical.DefaultParams()
+	}
+	src, err := logical.ResolveSources(dl.Array.Schema, dr.Array.Schema, out, pred)
+	if err != nil {
+		return nil, 0, err
+	}
+	target := opt.TargetCellsPerChunk
+	if target <= 0 {
+		// Join units should be of moderate size (Section 3.3): fine
+		// grained enough to give every node many units to balance, capped
+		// so huge inputs don't flood the physical planner with options.
+		total := dl.Array.CellCount() + dr.Array.CellCount()
+		target = total / int64(32*c.K)
+		if target < 256 {
+			target = 256
+		}
+		if target > logical.DefaultTargetCellsPerChunk {
+			target = logical.DefaultTargetCellsPerChunk
+		}
+	}
+	js, err := logical.InferJoinSchema(src, logical.InferOptions{
+		AttrHistogram:       catalogHistogram(c),
+		TargetCellsPerChunk: target,
+		ExtraCarryLeft:      opt.ExtraCarryLeft,
+		ExtraCarryRight:     opt.ExtraCarryRight,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	lopt := opt.Logical
+	lopt.Nodes = c.K
+	sa := logical.ArrayStats{Cells: dl.Array.CellCount(), Chunks: int64(dl.Array.ChunkCount())}
+	sb := logical.ArrayStats{Cells: dr.Array.CellCount(), Chunks: int64(dr.Array.ChunkCount())}
+	if lopt.Selectivity <= 0 {
+		// No caller estimate: derive one from catalog statistics
+		// (histogram-based power-law estimation; see internal/cardinality).
+		lopt.Selectivity = EstimateSelectivity(c, src, sa.Cells, sb.Cells)
+	}
+	plans, err := logical.Enumerate(js, sa, sb, lopt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plans, lopt.Selectivity, nil
+}
+
+// Explanation describes the optimizer's view of a query without running
+// it: every valid logical plan with its modeled cost, cheapest first.
+type Explanation struct {
+	Selectivity float64
+	Units       string // join-unit description of the chosen plan
+	NumUnits    int
+	Plans       []logical.Plan
+}
+
+// Explain enumerates and costs the logical plans for a join without
+// executing it.
+func Explain(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) (*Explanation, error) {
+	plans, sel, err := planLogical(c, dl, dr, pred, out, &opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		Selectivity: sel,
+		Units:       plans[0].Units.String(),
+		NumUnits:    plans[0].NumUnits,
+		Plans:       plans,
+	}, nil
+}
+
+// execute runs a chosen logical plan through slice mapping, physical
+// planning, alignment, and comparison.
+func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, opt Options, wallStart time.Time) (*Report, error) {
+	js := lp.JS
+	rep := &Report{Logical: *lp}
+
+	// ---- Slice mapping (Section 3.3) ----
+	spec, lm, rm := logical.UnitSpecFor(lp)
+	ssl, err := shuffle.MapSide(dl, c.K, spec, lm)
+	if err != nil {
+		return nil, err
+	}
+	ssr, err := shuffle.MapSide(dr, c.K, spec, rm)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Physical planning (Section 5) ----
+	pr, err := physical.NewProblem(c.K, modelAlgo(lp.Algo), ssl.Sizes(), ssr.Sizes(), opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	pres, err := opt.Planner.Plan(pr)
+	if err != nil {
+		return nil, err
+	}
+	rep.Physical = pres
+	rep.PlanTime = pres.PlanTime.Seconds()
+	rep.CellsMoved = pr.CellsMoved(pres.Assignment)
+
+	// ---- Data alignment (Section 3.4) ----
+	var transfers []simnet.Transfer
+	for u := 0; u < spec.NumUnits; u++ {
+		dest := pres.Assignment[u]
+		for node := 0; node < c.K; node++ {
+			cells := int64(len(ssl.Slice(u, node))) + int64(len(ssr.Slice(u, node)))
+			if node != dest && cells > 0 {
+				transfers = append(transfers, simnet.Transfer{From: node, To: dest, Cells: cells, Tag: u})
+			}
+		}
+	}
+	align, err := simnet.Simulate(simnet.Config{
+		Nodes:       c.K,
+		PerCellTime: opt.Params.Transfer,
+		Scheduling:  opt.Scheduling,
+	}, transfers)
+	if err != nil {
+		return nil, err
+	}
+	rep.Align = align
+	rep.AlignTime = align.Makespan
+
+	// ---- Cell comparison (Section 3.4) ----
+	outArr, err := newOutputArray(js)
+	if err != nil {
+		return nil, err
+	}
+	var attrFn func(l, r *join.Tuple) []array.Value
+	if opt.ProjectFactory != nil {
+		attrFn, err = opt.ProjectFactory(js)
+		if err != nil {
+			return nil, err
+		}
+	}
+	proj, err := newProjector(js, attrFn)
+	if err != nil {
+		return nil, err
+	}
+
+	nodeUnits := make([][]int, c.K)
+	for u := 0; u < spec.NumUnits; u++ {
+		dest := pres.Assignment[u]
+		nodeUnits[dest] = append(nodeUnits[dest], u)
+	}
+
+	type nodeOut struct {
+		cells []array.StoredCell
+		stats join.Stats
+		time  float64
+		err   error
+	}
+	results := make([]nodeOut, c.K)
+	process := func(node int) {
+		no := &results[node]
+		// Each node projects with its own row counter (stride K) so
+		// synthetic row coordinates are unique and deterministic whether
+		// or not nodes run concurrently.
+		nproj := proj.forNode(node, c.K)
+		for _, u := range nodeUnits[node] {
+			left := ssl.Assemble(u, node)
+			right := ssr.Assemble(u, node)
+			if lp.Algo == join.Merge {
+				// Reassembled units are concatenations of sorted slices;
+				// restore full key order (Section 3.4's preprocessing).
+				join.SortTuples(left)
+				join.SortTuples(right)
+			}
+			st, err := join.Run(lp.Algo, left, right, func(l, r *join.Tuple) {
+				coords, attrs := nproj.project(l, r)
+				no.cells = append(no.cells, array.StoredCell{Coords: coords, Attrs: attrs})
+			})
+			if err != nil {
+				no.err = err
+				return
+			}
+			no.stats.Add(st)
+			no.time += unitModelTime(lp.Algo, opt.Params, len(left), len(right))
+		}
+		// Post-join output handling: sorting or redimensioning the node's
+		// output cells when the plan calls for it (OutSort / OutRedim).
+		if lp.Out != logical.OutScan && len(no.cells) > 0 {
+			n := float64(len(no.cells))
+			no.time += opt.Params.Merge * n * math.Log2(math.Max(n, 2))
+			if lp.Out == logical.OutRedim {
+				no.time += opt.Params.Merge * n
+			}
+		}
+	}
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		for node := 0; node < c.K; node++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				process(n)
+			}(node)
+		}
+		wg.Wait()
+	} else {
+		for node := 0; node < c.K; node++ {
+			process(node)
+		}
+	}
+
+	for node := 0; node < c.K; node++ {
+		no := &results[node]
+		if no.err != nil {
+			return nil, no.err
+		}
+		rep.JoinStats.Add(no.stats)
+		if no.time > rep.CompareTime {
+			rep.CompareTime = no.time
+		}
+		for _, cell := range no.cells {
+			if err := putClamped(outArr, cell.Coords, cell.Attrs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rep.Matches = rep.JoinStats.Matches
+	outArr.SortAll()
+	rep.Output = outArr
+	rep.Total = rep.PlanTime + rep.AlignTime + rep.CompareTime
+	rep.WallTime = time.Since(wallStart)
+	return rep, nil
+}
+
+// modelAlgo maps the plan's algorithm to one the physical cost model
+// accepts; nested loop (never profitable, still executable) is modeled as
+// hash for assignment purposes.
+func modelAlgo(a join.Algorithm) join.Algorithm {
+	if a == join.NestedLoop {
+		return join.Hash
+	}
+	return a
+}
+
+// unitModelTime applies the Section 5.1 per-unit cost C_i.
+func unitModelTime(algo join.Algorithm, p physical.CostParams, nl, nr int) float64 {
+	switch algo {
+	case join.Merge:
+		return p.Merge * float64(nl+nr)
+	case join.Hash:
+		small, large := nl, nr
+		if small > large {
+			small, large = large, small
+		}
+		return p.Build*float64(small) + p.Probe*float64(large)
+	default: // nested loop: every pair probed
+		return p.Probe * float64(nl) * float64(nr)
+	}
+}
+
+// catalogHistogram builds attribute histograms on demand by scanning the
+// stored array — the statistics the paper's engine keeps in its catalog.
+func catalogHistogram(c *cluster.Cluster) func(arrayName, attrName string) *stats.Histogram {
+	return func(arrayName, attrName string) *stats.Histogram {
+		d, err := c.Catalog.Lookup(arrayName)
+		if err != nil {
+			return nil
+		}
+		ai := d.Array.Schema.AttrIndex(attrName)
+		if ai < 0 {
+			return nil
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
+			v := attrs[ai].AsFloat()
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			return true
+		})
+		if lo > hi {
+			return nil
+		}
+		h := stats.NewHistogram(lo, hi, 64)
+		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
+			h.Add(attrs[ai].AsFloat())
+			return true
+		})
+		return h
+	}
+}
+
+// putClamped stores an output cell, clamping coordinates into the
+// destination's dimension ranges (join keys can exceed a destination
+// declared smaller than the data).
+func putClamped(a *array.Array, coords []int64, attrs []array.Value) error {
+	for i, d := range a.Schema.Dims {
+		if coords[i] < d.Start {
+			coords[i] = d.Start
+		}
+		if coords[i] > d.End {
+			coords[i] = d.End
+		}
+	}
+	return a.Put(coords, attrs)
+}
+
+// newOutputArray materializes the destination schema. A destination with
+// no dimensions (unordered output, e.g. INTO T<i:int,j:int>[]) gets a
+// synthetic row dimension.
+func newOutputArray(js *logical.JoinSchema) (*array.Array, error) {
+	out := js.Pred.Out.Clone()
+	if len(out.Dims) == 0 {
+		out.Dims = []array.Dimension{{Name: "row_", Start: 0, End: math.MaxInt64 / 2, ChunkInterval: 1 << 20}}
+	}
+	return array.New(out)
+}
+
+// projector maps a matched tuple pair to an output cell.
+type projector struct {
+	js       *logical.JoinSchema
+	dimSrc   []fieldSrc
+	attrSrc  []fieldSrc
+	rowDim   bool
+	nextRow  int64
+	rowStep  int64
+	carryPos [2]map[int]int // original attr index -> tuple.Attrs position
+	attrFn   func(l, r *join.Tuple) []array.Value
+}
+
+// forNode returns a node-local copy whose synthetic row coordinates are
+// node, node+k, node+2k, … — disjoint across nodes.
+func (p *projector) forNode(node, k int) *projector {
+	c := *p
+	c.nextRow = int64(node)
+	c.rowStep = int64(k)
+	return &c
+}
+
+// fieldSrc locates one output field's value in a matched pair.
+type fieldSrc struct {
+	side  int // 0 = left tuple, 1 = right tuple
+	isDim bool
+	idx   int // coords index, or position within tuple.Attrs
+}
+
+func newProjector(js *logical.JoinSchema, attrFn func(l, r *join.Tuple) []array.Value) (*projector, error) {
+	p := &projector{js: js, attrFn: attrFn}
+	p.carryPos[0] = carryPositions(js.LeftCarry)
+	p.carryPos[1] = carryPositions(js.RightCarry)
+	out := js.Pred.Out
+	if len(out.Dims) == 0 {
+		p.rowDim = true
+	} else {
+		for _, d := range out.Dims {
+			src, err := p.resolveField(d.Name)
+			if err != nil {
+				return nil, err
+			}
+			p.dimSrc = append(p.dimSrc, src)
+		}
+	}
+	if attrFn == nil {
+		for _, a := range out.Attrs {
+			src, err := p.resolveField(a.Name)
+			if err != nil {
+				return nil, err
+			}
+			p.attrSrc = append(p.attrSrc, src)
+		}
+	}
+	return p, nil
+}
+
+func carryPositions(carry []int) map[int]int {
+	m := make(map[int]int, len(carry))
+	for pos, idx := range carry {
+		m[idx] = pos
+	}
+	return m
+}
+
+// resolveField finds where an output field's value comes from: a source
+// dimension, a carried source attribute, or — when the name matches a
+// predicate term — the corresponding key value.
+func (p *projector) resolveField(name string) (fieldSrc, error) {
+	src := p.js.Pred
+	schemas := [2]*array.Schema{src.Left, src.Right}
+	for side, s := range schemas {
+		if i := s.DimIndex(name); i >= 0 {
+			return fieldSrc{side: side, isDim: true, idx: i}, nil
+		}
+		if i := s.AttrIndex(name); i >= 0 {
+			if pos, ok := p.carryPos[side][i]; ok {
+				return fieldSrc{side: side, isDim: false, idx: pos}, nil
+			}
+		}
+	}
+	// Predicate-name match: τ renames a joined pair (e.g. dimension v fed
+	// by A.v = B.w). Use the left side's term.
+	for pi, pair := range src.Resolved.Pred {
+		if pair.Left.Name == name || pair.Right.Name == name {
+			ref := src.Resolved.Left[pi]
+			if ref.IsDim {
+				return fieldSrc{side: 0, isDim: true, idx: ref.Index}, nil
+			}
+			if pos, ok := p.carryPos[0][ref.Index]; ok {
+				return fieldSrc{side: 0, isDim: false, idx: pos}, nil
+			}
+		}
+	}
+	return fieldSrc{}, fmt.Errorf("exec: output field %q has no source in %s or %s",
+		name, src.Left.Name, src.Right.Name)
+}
+
+func (p *projector) project(l, r *join.Tuple) ([]int64, []array.Value) {
+	pick := func(src fieldSrc) array.Value {
+		t := l
+		if src.side == 1 {
+			t = r
+		}
+		if src.isDim {
+			return array.IntValue(t.Coords[src.idx])
+		}
+		return t.Attrs[src.idx]
+	}
+	var coords []int64
+	if p.rowDim {
+		coords = []int64{p.nextRow}
+		p.nextRow += p.rowStep
+	} else {
+		coords = make([]int64, len(p.dimSrc))
+		for i, src := range p.dimSrc {
+			coords[i] = pick(src).AsInt()
+		}
+	}
+	if p.attrFn != nil {
+		return coords, p.attrFn(l, r)
+	}
+	attrs := make([]array.Value, len(p.attrSrc))
+	for i, src := range p.attrSrc {
+		attrs[i] = pick(src)
+	}
+	return coords, attrs
+}

@@ -1,0 +1,312 @@
+// Package ilp is a from-scratch 0-1 branch-and-bound solver for the
+// integer-program formulation of the physical shuffle join planner
+// (Section 5 of the paper, Equations 10–12).
+//
+// The formulation assigns each join unit i to exactly one node j (binary
+// variables x_ij, Equation 4) and minimizes d + g, where d bounds the data
+// alignment time — t times the larger of the worst per-node send and
+// receive cell counts (Equations 10–11) — and g bounds the worst per-node
+// cell-comparison load (Equation 12). The paper applies the SCIP solver to
+// this program; this package substitutes an exact branch-and-bound over the
+// same model with the same anytime behaviour: the search runs under a time
+// budget and returns the best incumbent when the budget expires, flagging
+// whether optimality was proven.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Problem is one instance: n join units over k nodes.
+//
+// Sizes[i][j] is s_ij, the cells of unit i resident on node j (both join
+// sides combined — they travel together). Comp[i] is C_i, the modeled
+// comparison cost of unit i. Transfer is t, the per-cell transmission cost.
+type Problem struct {
+	K        int
+	Sizes    [][]int64
+	Comp     []float64
+	Transfer float64
+}
+
+// Solution is the solver's answer.
+type Solution struct {
+	Assignment []int   // unit -> node
+	Objective  float64 // modeled cost d + g of the assignment
+	Optimal    bool    // true when the search space was exhausted
+	Nodes      int64   // branch-and-bound nodes explored
+	Elapsed    time.Duration
+}
+
+// ErrNoBudget is returned when the time budget expires before any complete
+// assignment has been constructed (it cannot happen with budget > 0, since
+// the first depth-first descent completes immediately, but a zero budget
+// surfaces it).
+var ErrNoBudget = errors.New("ilp: time budget expired before any solution")
+
+// Validate checks the instance.
+func (p *Problem) Validate() error {
+	if p.K <= 0 {
+		return fmt.Errorf("ilp: k = %d", p.K)
+	}
+	if len(p.Sizes) != len(p.Comp) {
+		return fmt.Errorf("ilp: %d size rows, %d comp entries", len(p.Sizes), len(p.Comp))
+	}
+	for i, row := range p.Sizes {
+		if len(row) != p.K {
+			return fmt.Errorf("ilp: unit %d has %d size entries, want %d", i, len(row), p.K)
+		}
+	}
+	return nil
+}
+
+// Solve runs branch and bound under the given wall-clock budget.
+func Solve(p *Problem, budget time.Duration) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	start := time.Now()
+	n := len(p.Sizes)
+	if n == 0 {
+		return Solution{Assignment: nil, Objective: 0, Optimal: true, Elapsed: time.Since(start)}, nil
+	}
+
+	st := newSearchState(p)
+
+	// Branch on units in descending total-size order: big units constrain
+	// the objective most, so deciding them first tightens bounds early.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return st.unitTotal[order[a]] > st.unitTotal[order[b]] })
+
+	s := &solver{
+		p:        p,
+		st:       st,
+		order:    order,
+		deadline: start.Add(budget),
+		best:     nil,
+		bestObj:  0,
+	}
+	// Suffix sums over the branching order: remaining per-node resident
+	// cells and remaining unavoidable receives, for O(k) lower bounds.
+	s.remCol = make([][]int64, n+1)
+	s.remRecvMin = make([]int64, n+1)
+	s.remCol[n] = make([]int64, p.K)
+	for d := n - 1; d >= 0; d-- {
+		i := order[d]
+		s.remCol[d] = make([]int64, p.K)
+		for j := 0; j < p.K; j++ {
+			s.remCol[d][j] = s.remCol[d+1][j] + p.Sizes[i][j]
+		}
+		s.remRecvMin[d] = s.remRecvMin[d+1] + st.unitTotal[i] - st.maxSlice[i]
+	}
+	s.dfs(0)
+
+	if s.best == nil {
+		return Solution{}, ErrNoBudget
+	}
+	return Solution{
+		Assignment: s.best,
+		Objective:  s.bestObj,
+		Optimal:    !s.timedOut,
+		Nodes:      s.explored,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// searchState precomputes per-instance quantities.
+type searchState struct {
+	unitTotal  []int64 // S_i
+	maxSlice   []int64 // max_j s_ij
+	colTotal   []int64 // per node: total cells resident there
+	totalComp  float64 // Σ C_i
+	minRecvSum int64   // Σ_i (S_i - max_j s_ij): unavoidable received cells
+	candOrder  [][]int // per unit: nodes in descending local-slice order
+}
+
+func newSearchState(p *Problem) *searchState {
+	n := len(p.Sizes)
+	st := &searchState{
+		unitTotal: make([]int64, n),
+		maxSlice:  make([]int64, n),
+		colTotal:  make([]int64, p.K),
+	}
+	for i, row := range p.Sizes {
+		var total, mx int64
+		for j, s := range row {
+			total += s
+			st.colTotal[j] += s
+			if s > mx {
+				mx = s
+			}
+		}
+		st.unitTotal[i] = total
+		st.maxSlice[i] = mx
+		st.minRecvSum += total - mx
+	}
+	for _, c := range p.Comp {
+		st.totalComp += c
+	}
+	st.candOrder = make([][]int, n)
+	for i, row := range p.Sizes {
+		cand := make([]int, p.K)
+		for j := range cand {
+			cand[j] = j
+		}
+		sort.SliceStable(cand, func(a, b int) bool { return row[cand[a]] > row[cand[b]] })
+		st.candOrder[i] = cand
+	}
+	return st
+}
+
+type solver struct {
+	p        *Problem
+	st       *searchState
+	order    []int
+	deadline time.Time
+
+	// Suffix sums over the branching order (see Solve).
+	remCol     [][]int64
+	remRecvMin []int64
+
+	// Mutable per-node accumulators for the partial assignment.
+	ownSum []int64   // cells of units assigned to j that already live on j
+	recv   []int64   // cells units assigned to j must pull from elsewhere
+	comp   []float64 // comparison load assigned to j
+	assign []int
+
+	best     []int
+	bestObj  float64
+	timedOut bool
+	explored int64
+}
+
+func (s *solver) dfs(depth int) {
+	if s.assign == nil {
+		n := len(s.p.Sizes)
+		s.ownSum = make([]int64, s.p.K)
+		s.recv = make([]int64, s.p.K)
+		s.comp = make([]float64, s.p.K)
+		s.assign = make([]int, n)
+		for i := range s.assign {
+			s.assign[i] = -1
+		}
+	}
+	s.explored++
+	if s.explored%4096 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	if s.timedOut && s.best != nil {
+		return
+	}
+
+	if depth == len(s.order) {
+		obj := s.objective()
+		if s.best == nil || obj < s.bestObj {
+			s.best = append([]int(nil), s.assign...)
+			s.bestObj = obj
+		}
+		return
+	}
+	if s.best != nil && s.lowerBound(depth) >= s.bestObj {
+		return
+	}
+
+	unit := s.order[depth]
+	row := s.p.Sizes[unit]
+
+	// Try nodes in descending local-slice order: keeping the unit near its
+	// data is usually best, so good incumbents appear early.
+	for _, j := range s.st.candOrder[unit] {
+		s.assign[unit] = j
+		s.ownSum[j] += row[j]
+		s.recv[j] += s.st.unitTotal[unit] - row[j]
+		s.comp[j] += s.p.Comp[unit]
+
+		s.dfs(depth + 1)
+
+		s.assign[unit] = -1
+		s.ownSum[j] -= row[j]
+		s.recv[j] -= s.st.unitTotal[unit] - row[j]
+		s.comp[j] -= s.p.Comp[unit]
+		if s.timedOut && s.best != nil {
+			return
+		}
+	}
+}
+
+// objective computes d + g for a complete assignment:
+// d = t · max(max_j send_j, max_j recv_j), g = max_j comp_j.
+func (s *solver) objective() float64 {
+	var maxSend, maxRecv int64
+	var maxComp float64
+	for j := 0; j < s.p.K; j++ {
+		send := s.st.colTotal[j] - s.ownSum[j]
+		if send > maxSend {
+			maxSend = send
+		}
+		if s.recv[j] > maxRecv {
+			maxRecv = s.recv[j]
+		}
+		if s.comp[j] > maxComp {
+			maxComp = s.comp[j]
+		}
+	}
+	move := maxSend
+	if maxRecv > move {
+		move = maxRecv
+	}
+	return float64(move)*s.p.Transfer + maxComp
+}
+
+// lowerBound is an admissible bound on the best completion of the current
+// partial assignment (units at order positions < depth are fixed).
+func (s *solver) lowerBound(depth int) float64 {
+	// Receive: already-accumulated per-node receives only grow; each
+	// remaining unit must pull at least S_i - max_j s_ij cells. Spreading
+	// that perfectly gives a max-receive bound.
+	var curMaxRecv, curRecvSum int64
+	var curMaxComp float64
+	for j := 0; j < s.p.K; j++ {
+		if s.recv[j] > curMaxRecv {
+			curMaxRecv = s.recv[j]
+		}
+		curRecvSum += s.recv[j]
+		if s.comp[j] > curMaxComp {
+			curMaxComp = s.comp[j]
+		}
+	}
+	recvLB := curMaxRecv
+	if avg := (curRecvSum + s.remRecvMin[depth] + int64(s.p.K) - 1) / int64(s.p.K); avg > recvLB {
+		recvLB = avg
+	}
+
+	// Send: node j will eventually send colTotal_j minus the local slices
+	// of units assigned to it. Remaining units could at best keep all their
+	// j-resident cells home.
+	var sendLB int64
+	for j := 0; j < s.p.K; j++ {
+		lb := s.st.colTotal[j] - s.ownSum[j] - s.remCol[depth][j]
+		if lb > sendLB {
+			sendLB = lb
+		}
+	}
+
+	// Comparison: remaining comp spread perfectly still bounds max comp by
+	// the average of the total.
+	compLB := curMaxComp
+	if avg := s.st.totalComp / float64(s.p.K); avg > compLB {
+		compLB = avg
+	}
+
+	move := recvLB
+	if sendLB > move {
+		move = sendLB
+	}
+	return float64(move)*s.p.Transfer + compLB
+}

@@ -1,0 +1,371 @@
+// Package logical implements the logical join planner of Section 4 of the
+// paper: it analyzes the join predicate, infers the join schema J, and runs
+// a dynamic-programming enumeration over schema-alignment operators and
+// join algorithms (Algorithm 1) to pick the cheapest execution plan.
+package logical
+
+import (
+	"fmt"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/stats"
+)
+
+// JoinSchema is J = {D_J, A_J}: the schema the join executes in. Every
+// dimension of J appears in the predicate, so grouping cells by J's chunk
+// intervals (or by a hash of the key) puts all possibly-matching cells in
+// the same join unit. Its attributes are everything needed to build the
+// destination schema and evaluate the predicate.
+type JoinSchema struct {
+	// Dims are the join-space dimensions (used when units are chunks).
+	// Empty when no predicate term can be ranged (pure string keys), in
+	// which case only hash units are available.
+	Dims []array.Dimension
+	// LeftDimRefs/RightDimRefs give, per join dimension, where each side
+	// reads its join-space coordinate (a source dimension or attribute).
+	LeftDimRefs, RightDimRefs []join.Ref
+	// Pred is the resolved predicate; its refs provide the comparison keys.
+	Pred *ResolvedSources
+	// LeftCarry/RightCarry are the attribute indices each side must carry
+	// through the shuffle: A_J = D_τ ∪ A_τ ∪ P − D_J restricted to that
+	// side (vertical partitioning moves only necessary columns).
+	LeftCarry, RightCarry []int
+}
+
+// ResolvedSources bundles the inputs of planning: source schemas, the
+// resolved predicate, and the destination schema.
+type ResolvedSources struct {
+	Left, Right *array.Schema
+	Out         *array.Schema // destination τ; may have zero dims (unordered output)
+	Resolved    *join.ResolvedPredicate
+}
+
+// InferOptions tunes join-schema inference for attributes that have no
+// source or destination dimension to copy.
+type InferOptions struct {
+	// AttrHistogram returns a histogram of an attribute's values for the
+	// named array, used to infer a dimension extent and chunk interval
+	// (Section 4: "translating a histogram of the source data's value
+	// distribution into a set of ranges and chunking intervals"). May be
+	// nil when the planner can always copy an existing dimension.
+	AttrHistogram func(arrayName, attrName string) *stats.Histogram
+	// TargetCellsPerChunk sizes inferred chunk intervals; join units are
+	// designed to be of moderate size (Section 3.3).
+	TargetCellsPerChunk int64
+	// ExtraCarryLeft/ExtraCarryRight name additional source attributes the
+	// shuffle must carry — the columns referenced by SELECT expressions,
+	// beyond those appearing verbatim in the destination schema.
+	ExtraCarryLeft, ExtraCarryRight []string
+}
+
+// DefaultTargetCellsPerChunk keeps inferred join units at a moderate cell
+// count, supporting fine-grained parallelization without overwhelming the
+// physical planner with options (Section 3.3).
+const DefaultTargetCellsPerChunk = 1 << 16
+
+// ResolveSources validates and binds the planning inputs.
+func ResolveSources(left, right, out *array.Schema, pred join.Predicate) (*ResolvedSources, error) {
+	rp, err := join.ResolvePredicate(left, right, pred)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = DefaultOutputSchema(left, right, rp)
+	}
+	return &ResolvedSources{Left: left, Right: right, Out: out, Resolved: rp}, nil
+}
+
+// DefaultOutputSchema derives the natural-join default of Equation 3:
+// dimensions are the union of the sources' minus the predicate's right-side
+// dimensions (which merge with their left counterparts); attributes are the
+// union minus right-side predicate attributes.
+func DefaultOutputSchema(left, right *array.Schema, rp *join.ResolvedPredicate) *array.Schema {
+	out := &array.Schema{Name: left.Name + "_join_" + right.Name}
+	rightPredDim := make(map[string]bool)
+	rightPredAttr := make(map[string]bool)
+	for _, r := range rp.Right {
+		if r.IsDim {
+			rightPredDim[r.Name] = true
+		} else {
+			rightPredAttr[r.Name] = true
+		}
+	}
+	out.Dims = append(out.Dims, left.Dims...)
+	for _, d := range right.Dims {
+		if !rightPredDim[d.Name] && !out.HasDim(d.Name) {
+			out.Dims = append(out.Dims, d)
+		}
+	}
+	out.Attrs = append(out.Attrs, left.Attrs...)
+	for _, a := range right.Attrs {
+		if !rightPredAttr[a.Name] && !out.HasAttr(a.Name) {
+			out.Attrs = append(out.Attrs, a)
+		}
+	}
+	return out
+}
+
+// InferJoinSchema builds J for the given sources (Section 4, "Join Schema
+// Definition"). For each predicate pair it derives a join dimension:
+// opportunistically copying the dimension space when either source or the
+// destination already has it as a dimension (chunk intervals from the
+// largest, range from the union), and otherwise inferring the shape from a
+// histogram of the attribute's values.
+func InferJoinSchema(src *ResolvedSources, opt InferOptions) (*JoinSchema, error) {
+	if opt.TargetCellsPerChunk <= 0 {
+		opt.TargetCellsPerChunk = DefaultTargetCellsPerChunk
+	}
+	js := &JoinSchema{Pred: src}
+	rp := src.Resolved
+	for i := range rp.Pred {
+		lref, rref := rp.Left[i], rp.Right[i]
+		dim, ok, err := inferDim(src, lref, rref, rp.Pred[i], opt)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // un-rangeable pair (string attribute): hash units only
+		}
+		js.Dims = append(js.Dims, dim)
+		js.LeftDimRefs = append(js.LeftDimRefs, lref)
+		js.RightDimRefs = append(js.RightDimRefs, rref)
+	}
+	js.LeftCarry, js.RightCarry = carrySets(src, opt)
+	return js, nil
+}
+
+// inferDim derives one join dimension for a predicate pair. Returns
+// ok=false when the pair cannot be ranged (string-typed attribute with no
+// dimension on either side).
+func inferDim(src *ResolvedSources, lref, rref join.Ref, pair join.PredPair, opt InferOptions) (array.Dimension, bool, error) {
+	name := pair.Left.Name
+	if d := outDimFor(src.Out, pair); d != "" {
+		name = d
+	}
+
+	// Candidate dimension shapes to copy, in source priority order.
+	var cands []array.Dimension
+	if lref.IsDim {
+		cands = append(cands, src.Left.Dims[lref.Index])
+	}
+	if rref.IsDim {
+		cands = append(cands, src.Right.Dims[rref.Index])
+	}
+	if i := src.Out.DimIndex(name); i >= 0 {
+		cands = append(cands, src.Out.Dims[i])
+	}
+	if len(cands) > 0 {
+		d := array.Dimension{Name: name, Start: cands[0].Start, End: cands[0].End, ChunkInterval: cands[0].ChunkInterval}
+		for _, c := range cands[1:] {
+			if c.Start < d.Start {
+				d.Start = c.Start
+			}
+			if c.End > d.End {
+				d.End = c.End
+			}
+			if c.ChunkInterval > d.ChunkInterval {
+				d.ChunkInterval = c.ChunkInterval
+			}
+		}
+		return d, true, nil
+	}
+
+	// Both sides are attributes and τ lacks the dimension: infer from
+	// statistics about the source data.
+	if attrIsString(src.Left, lref) || attrIsString(src.Right, rref) {
+		return array.Dimension{}, false, nil
+	}
+	if opt.AttrHistogram == nil {
+		return array.Dimension{}, false, fmt.Errorf(
+			"logical: predicate %s needs attribute statistics to infer a join dimension and none were provided", pair)
+	}
+	hl := opt.AttrHistogram(src.Left.Name, lref.Name)
+	hr := opt.AttrHistogram(src.Right.Name, rref.Name)
+	if hl == nil && hr == nil {
+		return array.Dimension{}, false, fmt.Errorf("logical: no histogram for %s or %s", pair.Left, pair.Right)
+	}
+	var lo, hi int64
+	var total int64
+	first := true
+	merge := func(h *stats.Histogram) *stats.Histogram {
+		if h == nil {
+			return nil
+		}
+		l, u := h.ValueRange()
+		if first {
+			lo, hi, first = l, u, false
+		} else {
+			if l < lo {
+				lo = l
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		total += h.Total
+		return h
+	}
+	merge(hl)
+	merge(hr)
+	extent := hi - lo + 1
+	if extent < 1 {
+		extent = 1
+	}
+	chunks := (total + opt.TargetCellsPerChunk - 1) / opt.TargetCellsPerChunk
+	if chunks < 1 {
+		chunks = 1
+	}
+	ci := (extent + chunks - 1) / chunks
+	if ci < 1 {
+		ci = 1
+	}
+	return array.Dimension{Name: name, Start: lo, End: hi, ChunkInterval: ci}, true, nil
+}
+
+// outDimFor returns the destination dimension name matching either term of
+// the pair, if any.
+func outDimFor(out *array.Schema, pair join.PredPair) string {
+	if out == nil {
+		return ""
+	}
+	if out.HasDim(pair.Left.Name) {
+		return pair.Left.Name
+	}
+	if out.HasDim(pair.Right.Name) {
+		return pair.Right.Name
+	}
+	return ""
+}
+
+func attrIsString(s *array.Schema, r join.Ref) bool {
+	return !r.IsDim && s.Attrs[r.Index].Type == array.TypeString
+}
+
+// carrySets computes which attribute columns each side must move: those
+// appearing in the destination schema (as attributes or dimensions), in
+// the predicate, or named by the caller's SELECT expressions. Everything
+// else stays home.
+func carrySets(src *ResolvedSources, opt InferOptions) (left, right []int) {
+	needL := make(map[int]bool)
+	needR := make(map[int]bool)
+	for i := range src.Resolved.Left {
+		if r := src.Resolved.Left[i]; !r.IsDim {
+			needL[r.Index] = true
+		}
+		if r := src.Resolved.Right[i]; !r.IsDim {
+			needR[r.Index] = true
+		}
+	}
+	names := outNames(src.Out)
+	for _, name := range names {
+		if i := src.Left.AttrIndex(name); i >= 0 {
+			needL[i] = true
+		}
+		if i := src.Right.AttrIndex(name); i >= 0 {
+			needR[i] = true
+		}
+	}
+	for _, name := range opt.ExtraCarryLeft {
+		if i := src.Left.AttrIndex(name); i >= 0 {
+			needL[i] = true
+		}
+	}
+	for _, name := range opt.ExtraCarryRight {
+		if i := src.Right.AttrIndex(name); i >= 0 {
+			needR[i] = true
+		}
+	}
+	return sortedKeys(needL), sortedKeys(needR)
+}
+
+func outNames(out *array.Schema) []string {
+	if out == nil {
+		return nil
+	}
+	names := make([]string, 0, len(out.Dims)+len(out.Attrs))
+	for _, d := range out.Dims {
+		names = append(names, d.Name)
+	}
+	for _, a := range out.Attrs {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SideConforms reports whether a source schema is already organized as J
+// for its side: every join dimension reads from a source dimension at the
+// same position with identical origin and chunk interval. When true, the
+// array's stored chunks are usable as join units directly and a scan
+// suffices (no reorganization).
+func (js *JoinSchema) SideConforms(s *array.Schema, refs []join.Ref) bool {
+	if len(js.Dims) == 0 || len(js.Dims) != len(s.Dims) || len(refs) != len(js.Dims) {
+		return false
+	}
+	for i, jd := range js.Dims {
+		ref := refs[i]
+		if !ref.IsDim || ref.Index != i {
+			return false
+		}
+		sd := s.Dims[i]
+		if sd.Start != jd.Start || sd.ChunkInterval != jd.ChunkInterval || sd.End > jd.End {
+			return false
+		}
+	}
+	return true
+}
+
+// LeftConforms and RightConforms apply SideConforms to each operand.
+func (js *JoinSchema) LeftConforms() bool {
+	return js.SideConforms(js.Pred.Left, js.LeftDimRefs)
+}
+
+// RightConforms reports conformance of the right operand.
+func (js *JoinSchema) RightConforms() bool {
+	return js.SideConforms(js.Pred.Right, js.RightDimRefs)
+}
+
+// OutConforms reports whether the join schema's dimension grid equals the
+// destination schema's, so join-unit chunks are already destination chunks.
+func (js *JoinSchema) OutConforms() bool {
+	out := js.Pred.Out
+	if len(out.Dims) == 0 {
+		return true // unordered destination accepts anything
+	}
+	if len(out.Dims) != len(js.Dims) {
+		return false
+	}
+	for i, jd := range js.Dims {
+		od := out.Dims[i]
+		if od.Name != jd.Name || od.Start != jd.Start || od.ChunkInterval != jd.ChunkInterval {
+			return false
+		}
+	}
+	return true
+}
+
+// NumChunkUnits returns the join-unit count of the chunk grid (0 when J has
+// no dimensions).
+func (js *JoinSchema) NumChunkUnits() int {
+	if len(js.Dims) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range js.Dims {
+		n *= int(d.ChunkCount())
+	}
+	return n
+}

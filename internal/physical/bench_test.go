@@ -1,0 +1,70 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"shufflejoin/internal/join"
+)
+
+func benchProblem(b *testing.B, n, k int) *Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	left := make([][]int64, n)
+	right := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		l := make([]int64, k)
+		r := make([]int64, k)
+		for j := 0; j < k; j++ {
+			l[j] = rng.Int63n(1000)
+			r[j] = rng.Int63n(1000)
+		}
+		left[i], right[i] = l, r
+	}
+	pr, err := NewProblem(k, join.Hash, left, right, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr
+}
+
+func BenchmarkMinBandwidth1024(b *testing.B) {
+	pr := benchProblem(b, 1024, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (MinBandwidthPlanner{}).Plan(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTabu1024(b *testing.B) {
+	pr := benchProblem(b, 1024, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (TabuPlanner{}).Plan(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarseILP1024(b *testing.B) {
+	pr := benchProblem(b, 1024, 4)
+	pl := CoarseILPPlanner{Budget: 50 * time.Millisecond, Bins: 75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Plan(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate1024(b *testing.B) {
+	pr := benchProblem(b, 1024, 4)
+	a := CenterOfGravity(pr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Evaluate(a)
+	}
+}

@@ -1,0 +1,216 @@
+// Package physical implements the physical shuffle join planner of
+// Section 5 of the paper: given per-node slice statistics for every join
+// unit, it assigns each unit to a cluster node, balancing network transfer
+// (the scarcest shared resource in a shared-nothing cluster) against
+// cell-comparison load.
+//
+// The analytical cost model follows Equations 4–8: a plan's data alignment
+// time is t times the larger of the worst per-node send and receive cell
+// counts, and its cell comparison time is the worst per-node sum of unit
+// costs C_i, where C_i depends on the chosen join algorithm.
+package physical
+
+import (
+	"fmt"
+	"time"
+
+	"shufflejoin/internal/join"
+)
+
+// CostParams are the empirically derived per-cell cost parameters of
+// Section 5.1: m (merge comparison), b (hash build), p (hash probe), and t
+// (cell transmission). Units are seconds per cell.
+type CostParams struct {
+	Merge    float64 // m
+	Build    float64 // b — building a hash entry costs much more than probing
+	Probe    float64 // p
+	Transfer float64 // t
+}
+
+// DefaultParams returns parameters calibrated against this repository's
+// join implementations on commodity hardware (see the calibration bench in
+// internal/bench); they preserve the paper's orderings: b ≫ p, and network
+// transfer dominating per-cell compute.
+func DefaultParams() CostParams {
+	return CostParams{
+		Merge:    40e-9,
+		Build:    120e-9,
+		Probe:    30e-9,
+		Transfer: 800e-9,
+	}
+}
+
+// Problem is one physical planning instance: the slice statistics reported
+// to the coordinator after slice mapping.
+type Problem struct {
+	K    int
+	Algo join.Algorithm // merge or hash (nested loop is never planned; §5.1)
+	// Left[i][j] and Right[i][j] hold s_ij per side: cells of join unit i
+	// resident on node j in each input array.
+	Left, Right [][]int64
+	Params      CostParams
+
+	// Derived (filled by NewProblem).
+	N          int       // join units
+	Sizes      [][]int64 // combined s_ij (both sides travel together)
+	UnitTotal  []int64   // S_i
+	LeftTotal  []int64   // per-unit left-side cells (hash join build/probe split)
+	RightTotal []int64
+	Comp       []float64 // C_i
+}
+
+// NewProblem derives the per-unit aggregates and algorithm-specific unit
+// costs C_i (Section 5.1: C_i = m·S_i for merge, b·t_i + p·u_i for hash
+// with t_i the smaller and u_i the larger side).
+func NewProblem(k int, algo join.Algorithm, left, right [][]int64, params CostParams) (*Problem, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("physical: k = %d", k)
+	}
+	if algo == join.NestedLoop {
+		return nil, fmt.Errorf("physical: nested loop join is never profitable and is not modeled (Section 5.1)")
+	}
+	if len(left) != len(right) {
+		return nil, fmt.Errorf("physical: %d left units vs %d right units", len(left), len(right))
+	}
+	pr := &Problem{K: k, Algo: algo, Left: left, Right: right, Params: params, N: len(left)}
+	pr.Sizes = make([][]int64, pr.N)
+	pr.UnitTotal = make([]int64, pr.N)
+	pr.LeftTotal = make([]int64, pr.N)
+	pr.RightTotal = make([]int64, pr.N)
+	pr.Comp = make([]float64, pr.N)
+	for i := 0; i < pr.N; i++ {
+		if len(left[i]) != k || len(right[i]) != k {
+			return nil, fmt.Errorf("physical: unit %d has slice rows of length %d/%d, want %d",
+				i, len(left[i]), len(right[i]), k)
+		}
+		row := make([]int64, k)
+		for j := 0; j < k; j++ {
+			row[j] = left[i][j] + right[i][j]
+			pr.LeftTotal[i] += left[i][j]
+			pr.RightTotal[i] += right[i][j]
+		}
+		pr.Sizes[i] = row
+		pr.UnitTotal[i] = pr.LeftTotal[i] + pr.RightTotal[i]
+		small, large := pr.LeftTotal[i], pr.RightTotal[i]
+		if small > large {
+			small, large = large, small
+		}
+		switch algo {
+		case join.Merge:
+			pr.Comp[i] = params.Merge * float64(pr.UnitTotal[i])
+		case join.Hash:
+			pr.Comp[i] = params.Build*float64(small) + params.Probe*float64(large)
+		}
+	}
+	return pr, nil
+}
+
+// Assignment maps each join unit to the node that will process it.
+type Assignment []int
+
+// Valid reports whether every unit is assigned to a node in range
+// (Equation 4's Σ_j x_ij = 1 constraint).
+func (pr *Problem) Valid(a Assignment) bool {
+	if len(a) != pr.N {
+		return false
+	}
+	for _, j := range a {
+		if j < 0 || j >= pr.K {
+			return false
+		}
+	}
+	return true
+}
+
+// Breakdown is the modeled cost of an assignment, split by phase.
+type Breakdown struct {
+	MaxSendCells, MaxRecvCells int64   // worst per-node cells sent / received
+	AlignTime                  float64 // max(s, r) · t
+	CompareTime                float64 // max_j Σ_{i→j} C_i
+	Total                      float64 // Equation 8
+}
+
+// Evaluate applies the analytical cost model (Equations 5–8) to a plan.
+func (pr *Problem) Evaluate(a Assignment) Breakdown {
+	send := make([]int64, pr.K)
+	recv := make([]int64, pr.K)
+	comp := make([]float64, pr.K)
+	pr.accumulate(a, send, recv, comp)
+	var bd Breakdown
+	for j := 0; j < pr.K; j++ {
+		if send[j] > bd.MaxSendCells {
+			bd.MaxSendCells = send[j]
+		}
+		if recv[j] > bd.MaxRecvCells {
+			bd.MaxRecvCells = recv[j]
+		}
+		if comp[j] > bd.CompareTime {
+			bd.CompareTime = comp[j]
+		}
+	}
+	move := bd.MaxSendCells
+	if bd.MaxRecvCells > move {
+		move = bd.MaxRecvCells
+	}
+	bd.AlignTime = float64(move) * pr.Params.Transfer
+	bd.Total = bd.AlignTime + bd.CompareTime
+	return bd
+}
+
+// NodeCosts returns the per-node cost used by the Tabu search: each node's
+// own alignment plus comparison time (the model of Equations 5–7 evaluated
+// for a single j rather than as a max).
+func (pr *Problem) NodeCosts(a Assignment) []float64 {
+	send := make([]int64, pr.K)
+	recv := make([]int64, pr.K)
+	comp := make([]float64, pr.K)
+	pr.accumulate(a, send, recv, comp)
+	out := make([]float64, pr.K)
+	for j := 0; j < pr.K; j++ {
+		move := send[j]
+		if recv[j] > move {
+			move = recv[j]
+		}
+		out[j] = float64(move)*pr.Params.Transfer + comp[j]
+	}
+	return out
+}
+
+func (pr *Problem) accumulate(a Assignment, send, recv []int64, comp []float64) {
+	for i := 0; i < pr.N; i++ {
+		dest := a[i]
+		comp[dest] += pr.Comp[i]
+		for j, s := range pr.Sizes[i] {
+			if j == dest {
+				continue
+			}
+			send[j] += s
+			recv[dest] += s
+		}
+	}
+}
+
+// CellsMoved returns the total cells a plan ships over the network.
+func (pr *Problem) CellsMoved(a Assignment) int64 {
+	var moved int64
+	for i := 0; i < pr.N; i++ {
+		moved += pr.UnitTotal[i] - pr.Sizes[i][a[i]]
+	}
+	return moved
+}
+
+// Result is a planner's output: the assignment, its modeled cost, and
+// planning metadata.
+type Result struct {
+	Planner    string
+	Assignment Assignment
+	Model      Breakdown
+	PlanTime   time.Duration
+	Optimal    bool // ILP solvers: search space exhausted within budget
+}
+
+// Planner produces a join-unit-to-node assignment for a problem.
+type Planner interface {
+	Name() string
+	Plan(pr *Problem) (Result, error)
+}

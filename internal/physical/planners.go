@@ -1,0 +1,418 @@
+package physical
+
+import (
+	"time"
+
+	"shufflejoin/internal/ilp"
+	"shufflejoin/internal/join"
+)
+
+// BaselinePlanner is the skew-agnostic comparison point of Section 6.2. It
+// makes decisions at the level of entire arrays: for merge joins it moves
+// the smaller array to the larger one (each unit goes where the larger
+// array's slice of it lives), and for hash joins it deals contiguous
+// equal-sized blocks of buckets to the nodes, as relational optimizers do.
+type BaselinePlanner struct{}
+
+// Name implements Planner.
+func (BaselinePlanner) Name() string { return "Baseline" }
+
+// Plan implements Planner.
+func (b BaselinePlanner) Plan(pr *Problem) (Result, error) {
+	start := time.Now()
+	a := make(Assignment, pr.N)
+	if pr.Algo == join.Hash {
+		// First ceil(n/k) buckets to node 0, next block to node 1, ...
+		block := (pr.N + pr.K - 1) / pr.K
+		for i := range a {
+			a[i] = i / block
+		}
+	} else {
+		// Whole-array decision: which input is smaller overall?
+		var leftCells, rightCells int64
+		for i := 0; i < pr.N; i++ {
+			leftCells += pr.LeftTotal[i]
+			rightCells += pr.RightTotal[i]
+		}
+		larger := pr.Right
+		if leftCells >= rightCells {
+			larger = pr.Left
+		}
+		for i := range a {
+			a[i] = argmax(larger[i])
+			if larger[i][a[i]] == 0 {
+				// Larger array absent from this unit: stay with whatever
+				// data exists.
+				a[i] = argmax(pr.Sizes[i])
+			}
+		}
+	}
+	return Result{
+		Planner:    b.Name(),
+		Assignment: a,
+		Model:      pr.Evaluate(a),
+		PlanTime:   time.Since(start),
+		Optimal:    false,
+	}, nil
+}
+
+// MinBandwidthPlanner is the Minimum Bandwidth Heuristic: each join unit is
+// assigned to its "center of gravity" — the node already holding the most
+// of its cells (Equation 9) — which provably minimizes the cells a plan
+// transmits, while ignoring comparison balance.
+type MinBandwidthPlanner struct{}
+
+// Name implements Planner.
+func (MinBandwidthPlanner) Name() string { return "MBH" }
+
+// Plan implements Planner.
+func (m MinBandwidthPlanner) Plan(pr *Problem) (Result, error) {
+	start := time.Now()
+	a := CenterOfGravity(pr)
+	return Result{
+		Planner:    m.Name(),
+		Assignment: a,
+		Model:      pr.Evaluate(a),
+		PlanTime:   time.Since(start),
+	}, nil
+}
+
+// CenterOfGravity computes the MBH assignment: argmax_j s_ij per unit.
+// Ties are broken round-robin on the unit index: any tied node moves the
+// same number of cells, so the choice is still bandwidth-optimal, and
+// rotating avoids piling every tied unit onto node 0 when data is exactly
+// uniform.
+func CenterOfGravity(pr *Problem) Assignment {
+	a := make(Assignment, pr.N)
+	for i := 0; i < pr.N; i++ {
+		row := pr.Sizes[i]
+		best := argmax(row)
+		pick := best
+		for off := 0; off < pr.K; off++ {
+			j := (i + off) % pr.K
+			if row[j] == row[best] {
+				pick = j
+				break
+			}
+		}
+		a[i] = pick
+	}
+	return a
+}
+
+func argmax(row []int64) int {
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// TabuPlanner implements Algorithm 2: start from the minimum-bandwidth
+// plan, then repeatedly rebalance nodes whose per-node cost exceeds the
+// mean by moving join units to cheaper nodes, never repeating a
+// unit-to-node assignment (the tabu list holds assignments, not whole
+// plans, keeping the search polynomial and loop-free).
+type TabuPlanner struct {
+	// MaxRounds caps the outer rebalancing loop as a safety net; zero
+	// means no cap beyond the tabu list's natural exhaustion.
+	MaxRounds int
+	// DisableTabuList turns off the assignment-level tabu memory, leaving
+	// pure improving-move hill climbing (moves still terminate because
+	// every accepted move strictly reduces the plan cost). Exists for the
+	// tabu-granularity ablation benchmark.
+	DisableTabuList bool
+}
+
+// Name implements Planner.
+func (TabuPlanner) Name() string { return "Tabu" }
+
+// Plan implements Planner.
+func (t TabuPlanner) Plan(pr *Problem) (Result, error) {
+	start := time.Now()
+	a := CenterOfGravity(pr)
+
+	// tabu[i*K+j] marks unit i having ever been assigned to node j.
+	tabu := make([]bool, pr.N*pr.K)
+	for i, j := range a {
+		tabu[i*pr.K+j] = true
+	}
+
+	ev := newEvaluator(pr, a)
+	rounds := 0
+	for {
+		rounds++
+		if t.MaxRounds > 0 && rounds > t.MaxRounds {
+			break
+		}
+		changed := false
+		costs := ev.nodeCosts()
+		mean := 0.0
+		for _, c := range costs {
+			mean += c
+		}
+		mean /= float64(pr.K)
+		for n := 0; n < pr.K; n++ {
+			if costs[n] <= mean {
+				continue
+			}
+			if t.rebalanceNode(pr, a, n, tabu, ev) {
+				changed = true
+				costs = ev.nodeCosts()
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Result{
+		Planner:    t.Name(),
+		Assignment: a,
+		Model:      pr.Evaluate(a),
+		PlanTime:   time.Since(start),
+	}, nil
+}
+
+// rebalanceNode tries to move each unit assigned to node n to any
+// non-tabu node, keeping every move that improves the plan's total cost
+// (the what-if analysis of Algorithm 2). Costs are evaluated
+// incrementally: each what-if is O(k).
+func (t TabuPlanner) rebalanceNode(pr *Problem, a Assignment, n int, tabu []bool, ev *evaluator) bool {
+	improved := false
+	for i := 0; i < pr.N; i++ {
+		if a[i] != n {
+			continue
+		}
+		cur := ev.total()
+		for j := 0; j < pr.K; j++ {
+			if j == n || (!t.DisableTabuList && tabu[i*pr.K+j]) {
+				continue
+			}
+			ev.move(i, n, j)
+			if ev.total() < cur {
+				a[i] = j
+				tabu[i*pr.K+j] = true
+				improved = true
+				break // unit moved; continue with the next unit
+			}
+			ev.move(i, j, n) // undo
+		}
+	}
+	return improved
+}
+
+// evaluator maintains per-node send/receive/comparison accumulators for a
+// live assignment so single-unit moves cost O(k) to evaluate.
+type evaluator struct {
+	pr   *Problem
+	send []int64 // cells node j must transmit
+	recv []int64 // cells node j must receive
+	comp []float64
+}
+
+func newEvaluator(pr *Problem, a Assignment) *evaluator {
+	ev := &evaluator{
+		pr:   pr,
+		send: make([]int64, pr.K),
+		recv: make([]int64, pr.K),
+		comp: make([]float64, pr.K),
+	}
+	pr.accumulate(a, ev.send, ev.recv, ev.comp)
+	return ev
+}
+
+// move reassigns unit i from node from to node to.
+func (ev *evaluator) move(i, from, to int) {
+	pr := ev.pr
+	// The slice resident on the old destination must now be shipped; the
+	// slice on the new destination no longer moves.
+	ev.send[from] += pr.Sizes[i][from]
+	ev.send[to] -= pr.Sizes[i][to]
+	ev.recv[from] -= pr.UnitTotal[i] - pr.Sizes[i][from]
+	ev.recv[to] += pr.UnitTotal[i] - pr.Sizes[i][to]
+	ev.comp[from] -= pr.Comp[i]
+	ev.comp[to] += pr.Comp[i]
+}
+
+// total computes the Equation-8 plan cost from the accumulators.
+func (ev *evaluator) total() float64 {
+	var move int64
+	var maxComp float64
+	for j := 0; j < ev.pr.K; j++ {
+		if ev.send[j] > move {
+			move = ev.send[j]
+		}
+		if ev.recv[j] > move {
+			move = ev.recv[j]
+		}
+		if ev.comp[j] > maxComp {
+			maxComp = ev.comp[j]
+		}
+	}
+	return float64(move)*ev.pr.Params.Transfer + maxComp
+}
+
+// nodeCosts mirrors Problem.NodeCosts from the accumulators.
+func (ev *evaluator) nodeCosts() []float64 {
+	out := make([]float64, ev.pr.K)
+	for j := 0; j < ev.pr.K; j++ {
+		move := ev.send[j]
+		if ev.recv[j] > move {
+			move = ev.recv[j]
+		}
+		out[j] = float64(move)*ev.pr.Params.Transfer + ev.comp[j]
+	}
+	return out
+}
+
+// ILPPlanner seeks the optimal assignment with the branch-and-bound solver
+// under a wall-clock budget, mirroring the paper's use of SCIP with a
+// workload-tuned time limit.
+type ILPPlanner struct {
+	Budget time.Duration
+}
+
+// Name implements Planner.
+func (ILPPlanner) Name() string { return "ILP" }
+
+// Plan implements Planner.
+func (p ILPPlanner) Plan(pr *Problem) (Result, error) {
+	start := time.Now()
+	budget := p.Budget
+	if budget <= 0 {
+		budget = 5 * time.Second
+	}
+	sol, err := ilp.Solve(&ilp.Problem{
+		K:        pr.K,
+		Sizes:    pr.Sizes,
+		Comp:     pr.Comp,
+		Transfer: pr.Params.Transfer,
+	}, budget)
+	if err != nil {
+		return Result{}, err
+	}
+	a := Assignment(sol.Assignment)
+	return Result{
+		Planner:    p.Name(),
+		Assignment: a,
+		Model:      pr.Evaluate(a),
+		PlanTime:   time.Since(start),
+		Optimal:    sol.Optimal,
+	}, nil
+}
+
+// CoarseILPPlanner reduces the decision-variable count before solving:
+// join units sharing a center of gravity are packed together into at most
+// Bins bins (75 in the paper), each bin is assigned as a whole, and the
+// solution expands back to the member units. Faster to solve, potentially
+// poorer plans — the trade explored in Section 5.2.
+type CoarseILPPlanner struct {
+	Budget time.Duration
+	Bins   int
+}
+
+// Name implements Planner.
+func (CoarseILPPlanner) Name() string { return "ILP-Coarse" }
+
+// Plan implements Planner.
+func (p CoarseILPPlanner) Plan(pr *Problem) (Result, error) {
+	start := time.Now()
+	bins := p.Bins
+	if bins <= 0 {
+		bins = 75
+	}
+	budget := p.Budget
+	if budget <= 0 {
+		budget = 5 * time.Second
+	}
+
+	groups := packBins(pr, bins)
+
+	// Build the coarse problem: per-bin slice sums and comparison costs.
+	coarse := &ilp.Problem{K: pr.K, Transfer: pr.Params.Transfer}
+	for _, g := range groups {
+		row := make([]int64, pr.K)
+		var comp float64
+		for _, i := range g {
+			for j := 0; j < pr.K; j++ {
+				row[j] += pr.Sizes[i][j]
+			}
+			comp += pr.Comp[i]
+		}
+		coarse.Sizes = append(coarse.Sizes, row)
+		coarse.Comp = append(coarse.Comp, comp)
+	}
+	sol, err := ilp.Solve(coarse, budget)
+	if err != nil {
+		return Result{}, err
+	}
+	a := make(Assignment, pr.N)
+	for b, g := range groups {
+		for _, i := range g {
+			a[i] = sol.Assignment[b]
+		}
+	}
+	return Result{
+		Planner:    p.Name(),
+		Assignment: a,
+		Model:      pr.Evaluate(a),
+		PlanTime:   time.Since(start),
+		Optimal:    sol.Optimal,
+	}, nil
+}
+
+// packBins groups units by center of gravity, then splits each gravity
+// group into size-balanced bins so the total bin count stays at or under
+// the target. Grouping same-gravity units avoids the solver "bin
+// conflicts" the paper describes (bins torn between two hosts).
+func packBins(pr *Problem, bins int) [][]int {
+	if bins < pr.K {
+		bins = pr.K
+	}
+	byCog := make([][]int, pr.K)
+	for i := 0; i < pr.N; i++ {
+		c := argmax(pr.Sizes[i])
+		byCog[c] = append(byCog[c], i)
+	}
+	perCog := bins / pr.K
+	if perCog < 1 {
+		perCog = 1
+	}
+	var groups [][]int
+	for _, members := range byCog {
+		if len(members) == 0 {
+			continue
+		}
+		nb := perCog
+		if nb > len(members) {
+			nb = len(members)
+		}
+		// Greedy size-balanced packing: biggest unit into the lightest bin.
+		idx := append([]int(nil), members...)
+		sortBySizeDesc(pr, idx)
+		binUnits := make([][]int, nb)
+		binLoad := make([]int64, nb)
+		for _, i := range idx {
+			light := 0
+			for b := 1; b < nb; b++ {
+				if binLoad[b] < binLoad[light] {
+					light = b
+				}
+			}
+			binUnits[light] = append(binUnits[light], i)
+			binLoad[light] += pr.UnitTotal[i]
+		}
+		groups = append(groups, binUnits...)
+	}
+	return groups
+}
+
+func sortBySizeDesc(pr *Problem, idx []int) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && pr.UnitTotal[idx[j]] > pr.UnitTotal[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}

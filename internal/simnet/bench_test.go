@@ -1,0 +1,37 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTransfers(n, k int) []Transfer {
+	rng := rand.New(rand.NewSource(1))
+	trs := make([]Transfer, n)
+	for i := range trs {
+		trs[i] = Transfer{From: rng.Intn(k), To: rng.Intn(k), Cells: rng.Int63n(5000) + 1}
+	}
+	return trs
+}
+
+func BenchmarkSimulateGreedy(b *testing.B) {
+	trs := benchTransfers(2048, 8)
+	cfg := Config{Nodes: 8, PerCellTime: 1e-6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, trs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateFIFO(b *testing.B) {
+	trs := benchTransfers(2048, 8)
+	cfg := Config{Nodes: 8, PerCellTime: 1e-6, Scheduling: FIFONoSkip}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, trs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package simnet is a deterministic discrete-event simulator of the
+// shared-nothing cluster network used during the shuffle join's data
+// alignment phase.
+//
+// It models the environment of the paper's Sections 3.4 and 5.1: every node
+// has a full-duplex link to a switched network, so a node may send and
+// receive at the same time, but each node transmits at most one slice at a
+// time and — via a coordinator-managed per-receiver write lock — each node
+// receives at most one slice at a time. Transfer duration is proportional
+// to the number of cells moved (the cost-model parameter t).
+//
+// The scheduler implements the greedy protocol of Section 3.4: when a
+// sender is free it walks its outgoing slice queue in order and starts the
+// first transfer whose destination lock is free; if every destination is
+// locked it polls, waking when the earliest needed lock releases.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transfer is one slice movement: Cells cells from node From to node To.
+// Tag carries caller context (e.g. a join unit id) through to the timeline.
+type Transfer struct {
+	From, To int
+	Cells    int64
+	Tag      int
+}
+
+// Scheduling selects the shuffle scheduling policy.
+type Scheduling int
+
+const (
+	// GreedyLocks is the paper's scheduler: skip to the next slice whose
+	// destination lock is free, polling only when all are held.
+	GreedyLocks Scheduling = iota
+	// FIFONoSkip is the ablation baseline: each sender insists on its queue
+	// order, blocking on a busy receiver instead of skipping past it.
+	FIFONoSkip
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Nodes       int
+	PerCellTime float64 // seconds to transmit one cell (cost parameter t)
+	// Latency is a fixed per-transfer setup time (connection + first-byte
+	// delay). Zero matches the paper's pure-bandwidth model; a positive
+	// value penalizes plans that fragment data into many tiny slices.
+	Latency    float64
+	Scheduling Scheduling
+}
+
+// Event records one completed transfer in the simulated timeline.
+type Event struct {
+	Transfer
+	Start, End float64
+}
+
+// Result summarizes a simulated data alignment phase.
+type Result struct {
+	Makespan     float64   // time at which the last transfer completes
+	SendBusy     []float64 // per-node total time spent transmitting
+	RecvBusy     []float64 // per-node total time spent receiving
+	CellsSent    []int64   // per-node cells transmitted
+	CellsRecv    []int64   // per-node cells received
+	LockWaits    int       // times a sender had to poll with all locks held
+	SkippedSends int       // times a sender skipped past a locked destination
+	Timeline     []Event
+}
+
+// Validate checks the configuration and transfers.
+func (c Config) Validate(transfers []Transfer) error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("simnet: need at least one node, got %d", c.Nodes)
+	}
+	if c.PerCellTime < 0 {
+		return fmt.Errorf("simnet: negative per-cell time %v", c.PerCellTime)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("simnet: negative latency %v", c.Latency)
+	}
+	for _, tr := range transfers {
+		if tr.From < 0 || tr.From >= c.Nodes || tr.To < 0 || tr.To >= c.Nodes {
+			return fmt.Errorf("simnet: transfer %+v outside node range [0,%d)", tr, c.Nodes)
+		}
+		if tr.Cells < 0 {
+			return fmt.Errorf("simnet: negative transfer size %+v", tr)
+		}
+	}
+	return nil
+}
+
+// Simulate runs the data alignment phase for the given transfers and
+// returns the timing result. Transfers between a node and itself complete
+// instantly (local slices are never shipped). The simulation is fully
+// deterministic: ties are broken by sender id, then queue position.
+func Simulate(cfg Config, transfers []Transfer) (Result, error) {
+	if err := cfg.Validate(transfers); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		SendBusy:  make([]float64, cfg.Nodes),
+		RecvBusy:  make([]float64, cfg.Nodes),
+		CellsSent: make([]int64, cfg.Nodes),
+		CellsRecv: make([]int64, cfg.Nodes),
+	}
+
+	// Build per-sender queues preserving input order. seq records each
+	// transfer's global input position, used to break start-time ties
+	// deterministically.
+	queues := make([][]queued, cfg.Nodes)
+	remaining := 0
+	for n, tr := range transfers {
+		if tr.From == tr.To || tr.Cells == 0 {
+			continue // local or empty: no network work
+		}
+		queues[tr.From] = append(queues[tr.From], queued{Transfer: tr, seq: n})
+		remaining++
+	}
+
+	senderFree := make([]float64, cfg.Nodes) // when each NIC may transmit again
+	recvFree := make([]float64, cfg.Nodes)   // when each receiver's write lock frees
+
+	for remaining > 0 {
+		// Choose the globally earliest feasible (sender, transfer) start,
+		// breaking ties by the transfer's position in the input.
+		bestSender, bestIdx, bestSeq := -1, -1, 0
+		bestStart := 0.0
+		bestPolled := false
+		for i := 0; i < cfg.Nodes; i++ {
+			q := queues[i]
+			if len(q) == 0 {
+				continue
+			}
+			idx, start, polled := nextForSender(cfg.Scheduling, q, senderFree[i], recvFree)
+			seq := q[idx].seq
+			if bestSender == -1 || start < bestStart || (start == bestStart && seq < bestSeq) {
+				bestSender, bestIdx, bestSeq, bestStart, bestPolled = i, idx, seq, start, polled
+			}
+		}
+		tr := queues[bestSender][bestIdx].Transfer
+		if bestPolled {
+			res.LockWaits++
+		}
+		if bestIdx > 0 {
+			res.SkippedSends++
+		}
+		dur := cfg.Latency + float64(tr.Cells)*cfg.PerCellTime
+		end := bestStart + dur
+		senderFree[bestSender] = end
+		recvFree[tr.To] = end
+		res.SendBusy[tr.From] += dur
+		res.RecvBusy[tr.To] += dur
+		res.CellsSent[tr.From] += tr.Cells
+		res.CellsRecv[tr.To] += tr.Cells
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		res.Timeline = append(res.Timeline, Event{Transfer: tr, Start: bestStart, End: end})
+		// Remove the dispatched transfer, preserving order.
+		queues[bestSender] = append(queues[bestSender][:bestIdx], queues[bestSender][bestIdx+1:]...)
+		remaining--
+	}
+	sort.SliceStable(res.Timeline, func(i, j int) bool { return res.Timeline[i].Start < res.Timeline[j].Start })
+	return res, nil
+}
+
+// queued is a Transfer annotated with its global input position.
+type queued struct {
+	Transfer
+	seq int
+}
+
+// nextForSender picks which queued transfer the sender dispatches next and
+// when it can start. With GreedyLocks it takes the first transfer whose
+// destination lock is free when the sender is ready; if none, it polls
+// until the earliest needed lock releases. With FIFONoSkip it always takes
+// the head of the queue.
+func nextForSender(s Scheduling, q []queued, senderReady float64, recvFree []float64) (idx int, start float64, polled bool) {
+	if s == FIFONoSkip {
+		head := q[0]
+		start = senderReady
+		if recvFree[head.To] > start {
+			start = recvFree[head.To]
+		}
+		return 0, start, recvFree[head.To] > senderReady
+	}
+	// GreedyLocks: first destination free at senderReady wins.
+	for i, tr := range q {
+		if recvFree[tr.To] <= senderReady {
+			return i, senderReady, false
+		}
+	}
+	// All destinations locked: poll for the earliest release.
+	bestIdx, bestAt := 0, recvFree[q[0].To]
+	for i := 1; i < len(q); i++ {
+		if at := recvFree[q[i].To]; at < bestAt {
+			bestIdx, bestAt = i, at
+		}
+	}
+	return bestIdx, bestAt, true
+}
+
+// MaxSendRecv returns max over nodes of total send time and of total
+// receive time: the quantities the analytical model uses for the alignment
+// phase estimate max(s, r) · t (Equations 5–6 are expressed in cells; these
+// are the same maxima in seconds).
+func (r Result) MaxSendRecv() (send, recv float64) {
+	for i := range r.SendBusy {
+		if r.SendBusy[i] > send {
+			send = r.SendBusy[i]
+		}
+		if r.RecvBusy[i] > recv {
+			recv = r.RecvBusy[i]
+		}
+	}
+	return send, recv
+}

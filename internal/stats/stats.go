@@ -1,0 +1,273 @@
+// Package stats provides the statistical utilities the shuffle join
+// framework relies on: equi-width histograms used for dimension inference
+// during schema resolution (Section 4 of the paper), linear and power-law
+// regression with coefficients of determination (used in the evaluation to
+// validate the logical and physical cost models), and distribution summary
+// helpers (Zipf skew characterization, concentration ratios).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic distribution statistics of a sample.
+type Summary struct {
+	N                  int
+	Min, Max           float64
+	Mean, Stddev       float64
+	Sum                float64
+	P50, P95, P99      float64
+	CoefficientOfVar   float64 // stddev / mean
+	MaxToMeanImbalance float64 // max / mean; 1.0 for perfectly even data
+}
+
+// Summarize computes summary statistics over the sample.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(s.N))
+	if s.Mean != 0 {
+		s.CoefficientOfVar = s.Stddev / s.Mean
+		s.MaxToMeanImbalance = s.Max / s.Mean
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LinearFit is the least-squares line y = Slope*x + Intercept with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// ErrDegenerate is returned when a regression has too few points or zero
+// variance in x.
+var ErrDegenerate = errors.New("stats: degenerate regression input")
+
+// Linear fits a least-squares line to (x, y) pairs.
+func Linear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return LinearFit{}, ErrDegenerate
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		// r^2 of the fitted line.
+		var ssRes float64
+		for i := range xs {
+			e := ys[i] - (fit.Slope*xs[i] + fit.Intercept)
+			ssRes += e * e
+		}
+		fit.R2 = 1 - ssRes/syy
+	}
+	return fit, nil
+}
+
+// PowerLawFit is y = C * x^Exponent fitted in log-log space, with the r² of
+// the log-log regression (the correlation statistic quoted in the paper's
+// Figure 5 discussion).
+type PowerLawFit struct {
+	C, Exponent float64
+	R2          float64
+}
+
+// PowerLaw fits a power law to strictly positive (x, y) pairs.
+func PowerLaw(xs, ys []float64) (PowerLawFit, error) {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	lin, err := Linear(lx, ly)
+	if err != nil {
+		return PowerLawFit{}, err
+	}
+	return PowerLawFit{C: math.Exp(lin.Intercept), Exponent: lin.Slope, R2: lin.R2}, nil
+}
+
+// Histogram is an equi-width histogram over a numeric value range. The
+// logical planner uses attribute histograms to infer dimension extents and
+// chunk intervals when a redimensioned attribute has no source dimension to
+// copy (Section 4, "Join Schema Definition").
+type Histogram struct {
+	Lo, Hi  float64 // value range covered, [Lo, Hi]
+	Buckets []int64
+	Total   int64
+}
+
+// NewHistogram builds an equi-width histogram with nBuckets over [lo, hi].
+func NewHistogram(lo, hi float64, nBuckets int) *Histogram {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, nBuckets)}
+}
+
+// Add records one observation. Out-of-range values clamp to the end buckets.
+func (h *Histogram) Add(v float64) {
+	idx := h.bucketOf(v)
+	h.Buckets[idx]++
+	h.Total++
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if h.Hi == h.Lo {
+		return 0
+	}
+	f := (v - h.Lo) / (h.Hi - h.Lo)
+	idx := int(f * float64(len(h.Buckets)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	return idx
+}
+
+// ValueRange returns the observed value range as integer bounds, suitable
+// for deriving a dimension extent.
+func (h *Histogram) ValueRange() (lo, hi int64) {
+	return int64(math.Floor(h.Lo)), int64(math.Ceil(h.Hi))
+}
+
+// SuggestChunkInterval proposes a chunk interval for a dimension derived
+// from this histogram such that an average chunk holds about
+// targetCellsPerChunk observations. This translates the histogram of the
+// source data's value distribution into a chunking interval as described in
+// Section 4.
+func (h *Histogram) SuggestChunkInterval(targetCellsPerChunk int64) int64 {
+	lo, hi := h.ValueRange()
+	extent := hi - lo + 1
+	if extent < 1 {
+		extent = 1
+	}
+	if h.Total == 0 || targetCellsPerChunk <= 0 {
+		return extent
+	}
+	chunks := (h.Total + targetCellsPerChunk - 1) / targetCellsPerChunk
+	if chunks < 1 {
+		chunks = 1
+	}
+	ci := (extent + chunks - 1) / chunks
+	if ci < 1 {
+		ci = 1
+	}
+	return ci
+}
+
+// ConcentrationTopFraction returns the fraction of total mass held by the
+// largest `frac` fraction of values. The paper characterizes AIS as "85% of
+// the data in 5% of the chunks": ConcentrationTopFraction(sizes, 0.05) ≈ 0.85.
+func ConcentrationTopFraction(sizes []float64, frac float64) float64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	k := int(math.Ceil(frac * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	var top, total float64
+	for i, v := range sorted {
+		total += v
+		if i < k {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// ZipfWeights returns the normalized Zipf probability weights for n ranks
+// at skew alpha: weight(rank k) ∝ 1/k^alpha. alpha = 0 is uniform; larger
+// alpha concentrates mass on low ranks. These are the join-unit and slice
+// size distributions used throughout Section 6.2.
+func ZipfWeights(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for k := 0; k < n; k++ {
+		w[k] = 1 / math.Pow(float64(k+1), alpha)
+		sum += w[k]
+	}
+	for k := range w {
+		w[k] /= sum
+	}
+	return w
+}

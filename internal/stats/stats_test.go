@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Sum != 15 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Stddev = %v, want sqrt(2)", s.Stddev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+}
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-3) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 0.5*x+10+rng.NormFloat64()*2)
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.5) > 0.05 {
+		t.Errorf("slope = %v, want ~0.5", fit.Slope)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R2 = %v, want > 0.9", fit.R2)
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should be degenerate")
+	}
+	if _, err := Linear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance should be degenerate")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestPowerLawExact(t *testing.T) {
+	// y = 3 x^2
+	var xs, ys []float64
+	for x := 1.0; x <= 10; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 3*x*x)
+	}
+	fit, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-2) > 1e-9 || math.Abs(fit.C-3) > 1e-9 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{-1, 0, 1, 2, 4, 8}
+	ys := []float64{5, 5, 1, 2, 4, 8} // y = x over the positive points
+	fit, err := PowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-1) > 1e-9 {
+		t.Errorf("Exponent = %v, want 1", fit.Exponent)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for v := 0.0; v < 100; v++ {
+		h.Add(v)
+	}
+	for i, b := range h.Buckets {
+		if b != 10 {
+			t.Errorf("bucket %d = %d, want 10", i, b)
+		}
+	}
+	h.Add(-5)  // clamps low
+	h.Add(500) // clamps high
+	if h.Buckets[0] != 11 || h.Buckets[9] != 11 {
+		t.Errorf("clamping failed: %v", h.Buckets)
+	}
+}
+
+func TestHistogramSuggestChunkInterval(t *testing.T) {
+	h := NewHistogram(1, 1000, 10)
+	for i := 0; i < 10000; i++ {
+		h.Add(float64(i%1000 + 1))
+	}
+	// 10000 cells, target 1000 per chunk -> 10 chunks over extent 1000 -> ci 100.
+	if ci := h.SuggestChunkInterval(1000); ci != 100 {
+		t.Errorf("SuggestChunkInterval = %d, want 100", ci)
+	}
+	// Degenerate: no observations -> whole extent.
+	h2 := NewHistogram(1, 50, 5)
+	if ci := h2.SuggestChunkInterval(10); ci != 50 {
+		t.Errorf("empty histogram interval = %d, want 50", ci)
+	}
+}
+
+func TestConcentrationTopFraction(t *testing.T) {
+	// 100 values: one of 901, ninety-nine of 1 -> top 1% holds 901/1000.
+	sizes := make([]float64, 100)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	sizes[42] = 901
+	got := ConcentrationTopFraction(sizes, 0.01)
+	if math.Abs(got-0.901) > 1e-9 {
+		t.Errorf("concentration = %v, want 0.901", got)
+	}
+	if ConcentrationTopFraction(nil, 0.1) != 0 {
+		t.Error("empty input should return 0")
+	}
+}
+
+func TestZipfWeightsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		alpha := math.Abs(float64(seed%40)) / 10 // 0..3.9
+		w := ZipfWeights(64, alpha)
+		var sum float64
+		for i, v := range w {
+			sum += v
+			if i > 0 && v > w[i-1]+1e-15 {
+				return false // must be non-increasing
+			}
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfWeightsUniformAtZero(t *testing.T) {
+	w := ZipfWeights(10, 0)
+	for _, v := range w {
+		if math.Abs(v-0.1) > 1e-12 {
+			t.Errorf("alpha=0 weight = %v, want 0.1", v)
+		}
+	}
+}
+
+func TestZipfSkewIncreasesConcentration(t *testing.T) {
+	prev := -1.0
+	for _, alpha := range []float64{0, 0.5, 1.0, 1.5, 2.0} {
+		w := ZipfWeights(1024, alpha)
+		c := ConcentrationTopFraction(w, 0.05)
+		if c <= prev {
+			t.Errorf("alpha=%v: concentration %v not increasing (prev %v)", alpha, c, prev)
+		}
+		prev = c
+	}
+}

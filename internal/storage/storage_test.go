@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/workload"
+)
+
+func randomArray(seed int64) *array.Array {
+	rng := rand.New(rand.NewSource(seed))
+	a := array.MustNew(array.MustParseSchema("A<v1:int, v2:float, v3:string>[i=1,200,20, j=1,100,25]"))
+	for n := 0; n < 300; n++ {
+		a.MustPut(
+			[]int64{rng.Int63n(200) + 1, rng.Int63n(100) + 1},
+			[]array.Value{
+				array.IntValue(rng.Int63() - rng.Int63()),
+				array.FloatValue(rng.NormFloat64()),
+				array.StringValue(string(rune('a' + rng.Intn(26)))),
+			})
+	}
+	a.SortAll()
+	return a
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := randomArray(1)
+	var buf bytes.Buffer
+	if err := WriteArray(&buf, a); err != nil {
+		t.Fatalf("WriteArray: %v", err)
+	}
+	got, err := ReadArray(&buf)
+	if err != nil {
+		t.Fatalf("ReadArray: %v", err)
+	}
+	if got.Schema.String() != a.Schema.String() {
+		t.Errorf("schema = %s, want %s", got.Schema, a.Schema)
+	}
+	if !reflect.DeepEqual(got.Cells(), a.Cells()) {
+		t.Error("cells differ after round trip")
+	}
+	for key, ch := range a.Chunks {
+		if got.Chunks[key] == nil || got.Chunks[key].Sorted != ch.Sorted {
+			t.Errorf("chunk %s sorted flag lost", key)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomArray(seed)
+		var buf bytes.Buffer
+		if err := WriteArray(&buf, a); err != nil {
+			return false
+		}
+		got, err := ReadArray(&buf)
+		if err != nil {
+			return false
+		}
+		return got.CellCount() == a.CellCount() &&
+			reflect.DeepEqual(got.Cells(), a.Cells())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	a := randomArray(2)
+	var buf bytes.Buffer
+	if err := WriteArray(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xFF
+	if _, err := ReadArray(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted payload should fail the checksum")
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	if _, err := ReadArray(bytes.NewReader([]byte("SJ"))); err == nil {
+		t.Error("truncated file should error")
+	}
+	a := randomArray(3)
+	var buf bytes.Buffer
+	_ = WriteArray(&buf, a)
+	if _, err := ReadArray(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("half a file should error")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := append([]byte("NOPE"), make([]byte, 16)...)
+	if _, err := ReadArray(bytes.NewReader(raw)); err == nil {
+		t.Error("bad magic should error")
+	}
+}
+
+func TestEmptyArray(t *testing.T) {
+	a := array.MustNew(array.MustParseSchema("E<v:int>[i=1,10,5]"))
+	var buf bytes.Buffer
+	if err := WriteArray(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CellCount() != 0 {
+		t.Errorf("empty array round-tripped with %d cells", got.CellCount())
+	}
+}
+
+func TestStoreSaveLoadList(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomArray(4)
+	if err := s.Save(a); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	ships := workload.AISLike("Ships", workload.GeoConfig{Cells: 2000, Seed: 5})
+	if err := s.Save(ships); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"A", "Ships"}) {
+		t.Errorf("List = %v", names)
+	}
+	got, err := s.Load("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CellCount() != a.CellCount() {
+		t.Errorf("loaded %d cells, want %d", got.CellCount(), a.CellCount())
+	}
+	if _, err := s.Load("Missing"); err == nil {
+		t.Error("loading a missing array should error")
+	}
+}

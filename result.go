@@ -1,0 +1,174 @@
+package shufflejoin
+
+import (
+	"fmt"
+	"strings"
+
+	"shufflejoin/internal/aql"
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/exec"
+	"shufflejoin/internal/join"
+)
+
+// algoByName maps user-facing algorithm names.
+func algoByName(name string) (join.Algorithm, error) {
+	switch name {
+	case "hash":
+		return join.Hash, nil
+	case "merge":
+		return join.Merge, nil
+	case "nestedloop", "nested-loop", "nl":
+		return join.NestedLoop, nil
+	}
+	return 0, fmt.Errorf("shufflejoin: unknown algorithm %q", name)
+}
+
+// Result is the outcome of a query: the chosen plans, the phase timing
+// breakdown, and the materialized output cells.
+type Result struct {
+	// Plan is the logical plan as an AFL expression, e.g.
+	// "redim(hashJoin(hash(A), hash(B)), C)".
+	Plan string
+	// Algorithm is the cell-comparison algorithm used.
+	Algorithm string
+	// Planner names the physical planner that assigned join units.
+	Planner string
+	// Matches is the number of matched cell pairs (= output cells).
+	Matches int64
+	// CellsMoved is the number of cells shipped during data alignment.
+	CellsMoved int64
+
+	// Modeled phase durations in seconds, as in the paper's figures:
+	// planning is real wall time; alignment is the simulated shuffle
+	// makespan; comparison is the slowest node's modeled time.
+	PlanSeconds    float64
+	AlignSeconds   float64
+	CompareSeconds float64
+	TotalSeconds   float64
+
+	// OutputSchema is the destination schema literal.
+	OutputSchema string
+
+	// JoinOrder lists the per-step join order for multi-way queries
+	// (empty for two-way joins).
+	JoinOrder []string
+
+	output *array.Array
+}
+
+func newResult(rep *exec.Report) *Result {
+	return &Result{
+		Plan:           rep.Logical.Describe(),
+		Algorithm:      rep.Logical.Algo.String(),
+		Planner:        rep.Physical.Planner,
+		Matches:        rep.Matches,
+		CellsMoved:     rep.CellsMoved,
+		PlanSeconds:    rep.PlanTime,
+		AlignSeconds:   rep.AlignTime,
+		CompareSeconds: rep.CompareTime,
+		TotalSeconds:   rep.Total,
+		OutputSchema:   rep.Output.Schema.String(),
+		output:         rep.Output,
+	}
+}
+
+func newMultiResult(res *aql.MultiResult) *Result {
+	r := &Result{
+		Plan:           strings.Join(res.Order, " ; "),
+		Algorithm:      "multi",
+		Matches:        res.Matches,
+		PlanSeconds:    res.PlanSeconds,
+		AlignSeconds:   res.AlignSeconds,
+		CompareSeconds: res.CompareSeconds,
+		TotalSeconds:   res.TotalSeconds,
+		OutputSchema:   res.Output.Schema.String(),
+		JoinOrder:      res.Order,
+		output:         res.Output,
+	}
+	for _, step := range res.Steps {
+		r.CellsMoved += step.CellsMoved
+		if r.Planner == "" {
+			r.Planner = step.Physical.Planner
+		}
+	}
+	return r
+}
+
+// Cell is one output cell: coordinates and attribute values (int64,
+// float64, or string).
+type Cell struct {
+	Coords []int64
+	Values []any
+}
+
+// Cells materializes the full output in deterministic order. Intended for
+// small results; use Scan for large ones.
+func (r *Result) Cells() []Cell {
+	var out []Cell
+	r.Scan(func(c Cell) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// Scan streams output cells in deterministic (chunk C-order) order;
+// returning false stops the scan.
+func (r *Result) Scan(fn func(Cell) bool) {
+	r.output.Scan(func(coords []int64, attrs []array.Value) bool {
+		c := Cell{Coords: append([]int64(nil), coords...)}
+		c.Values = make([]any, len(attrs))
+		for i, v := range attrs {
+			switch v.Kind {
+			case array.TypeInt64:
+				c.Values[i] = v.Int
+			case array.TypeFloat64:
+				c.Values[i] = v.F
+			default:
+				c.Values[i] = v.Str
+			}
+		}
+		return fn(c)
+	})
+}
+
+// String summarizes the result for logging.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d matches via %s [%s planner]", r.Matches, r.Plan, r.Planner)
+	fmt.Fprintf(&b, " plan=%.3fs align=%.3fs compare=%.3fs total=%.3fs moved=%d cells",
+		r.PlanSeconds, r.AlignSeconds, r.CompareSeconds, r.TotalSeconds, r.CellsMoved)
+	return b.String()
+}
+
+// PlanInfo is one candidate logical plan in an Explain result.
+type PlanInfo struct {
+	Plan        string // AFL rendering, e.g. "mergeJoin(redim(A), redim(B))"
+	Algorithm   string
+	Units       string // "chunks" or "hash buckets"
+	NumUnits    int
+	Cost        float64 // total modeled cost (abstract per-cell units)
+	AlignCost   float64
+	CompareCost float64
+	OutputCost  float64
+}
+
+// Explanation is the optimizer's view of a query: the selectivity estimate
+// it used and every valid logical plan, cheapest first.
+type Explanation struct {
+	Selectivity float64
+	Plans       []PlanInfo
+}
+
+// SaveAs registers the query output as a new array in the database so
+// follow-up queries can join against it (materialized query chaining).
+func (r *Result) SaveAs(db *DB, name string) (*Array, error) {
+	if name == "" {
+		return nil, fmt.Errorf("shufflejoin: SaveAs needs a name")
+	}
+	out := r.output.Clone()
+	out.Schema.Name = name
+	ar := &Array{db: db, inner: out}
+	ar.Seal()
+	return ar, nil
+}

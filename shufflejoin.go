@@ -1,0 +1,437 @@
+// Package shufflejoin is a skew-aware distributed join optimizer and
+// executor for array databases — a from-scratch implementation of the
+// shuffle join framework of "Skew-Aware Join Optimization for Array
+// Databases" (SIGMOD 2015).
+//
+// The library models a shared-nothing array database: multidimensional
+// sparse arrays chunked into multidimensional tiles, distributed over a
+// simulated cluster. Equi-join queries written in an AQL subset are
+// planned in two phases — a logical planner picks the join algorithm,
+// join-unit granularity, and schema-alignment operators via dynamic
+// programming; a physical planner assigns join units to nodes with a
+// skew-aware analytical cost model — and then executed: slices shuffle
+// across a discrete-event network with coordinator-managed write locks,
+// and real cells flow through real join algorithms into the destination
+// array.
+//
+// Quickstart:
+//
+//	db, _ := shufflejoin.Open(4)
+//	a, _ := db.CreateArray("A<v:int>[i=1,1000,100]")
+//	b, _ := db.CreateArray("B<w:int>[i=1,1000,100]")
+//	// ... a.Insert / b.Insert ...
+//	res, _ := db.Query("SELECT A.v, B.w FROM A, B WHERE A.i = B.i")
+//	fmt.Println(res.Matches, res.Plan)
+package shufflejoin
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"shufflejoin/internal/aql"
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/exec"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/physical"
+	"shufflejoin/internal/simnet"
+	"shufflejoin/internal/storage"
+	"shufflejoin/internal/workload"
+)
+
+// DB is a simulated shared-nothing array database cluster.
+type DB struct {
+	cluster  *cluster.Cluster
+	pending  map[string]*Array
+	defaults queryConfig
+}
+
+// Open creates a database spread over the given number of nodes.
+func Open(nodes int) (*DB, error) {
+	c, err := cluster.New(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		cluster: c,
+		pending: make(map[string]*Array),
+		defaults: queryConfig{
+			planner:  physical.MinBandwidthPlanner{},
+			parallel: true,
+		},
+	}, nil
+}
+
+// Nodes returns the cluster size.
+func (db *DB) Nodes() int { return db.cluster.K }
+
+// Array is a handle to an array being built or already loaded.
+type Array struct {
+	db     *DB
+	inner  *array.Array
+	loaded bool
+	policy cluster.PlacementPolicy
+}
+
+// CreateArray declares a new array from a schema literal in the paper's
+// notation, e.g. "A<v1:int, v2:float>[i=1,6,3, j=1,6,3]". Cells are added
+// with Insert; the array is distributed over the cluster when first
+// queried (or explicitly via Seal).
+func (db *DB) CreateArray(schemaLiteral string) (*Array, error) {
+	s, err := array.ParseSchema(schemaLiteral)
+	if err != nil {
+		return nil, err
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("shufflejoin: array schema needs a name")
+	}
+	a, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	ar := &Array{db: db, inner: a}
+	db.pending[s.Name] = ar
+	return ar, nil
+}
+
+// Name returns the array's name.
+func (ar *Array) Name() string { return ar.inner.Schema.Name }
+
+// Schema returns the array's schema literal.
+func (ar *Array) Schema() string { return ar.inner.Schema.String() }
+
+// CellCount returns the number of occupied cells.
+func (ar *Array) CellCount() int64 { return ar.inner.CellCount() }
+
+// ChunkCount returns the number of stored chunks.
+func (ar *Array) ChunkCount() int { return ar.inner.ChunkCount() }
+
+// Insert stores one cell: coordinates (one per dimension) and attribute
+// values (int64/int/float64/string, one per attribute).
+func (ar *Array) Insert(coords []int64, values ...any) error {
+	if ar.loaded {
+		return fmt.Errorf("shufflejoin: %s is sealed; arrays are immutable once queried", ar.Name())
+	}
+	attrs := make([]array.Value, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case int:
+			attrs[i] = array.IntValue(int64(x))
+		case int64:
+			attrs[i] = array.IntValue(x)
+		case float64:
+			attrs[i] = array.FloatValue(x)
+		case string:
+			attrs[i] = array.StringValue(x)
+		default:
+			return fmt.Errorf("shufflejoin: unsupported value type %T", v)
+		}
+	}
+	return ar.inner.Put(coords, attrs)
+}
+
+// DistributeByHash switches the array's placement policy from the default
+// round-robin to hashed chunk placement.
+func (ar *Array) DistributeByHash() { ar.policy = cluster.HashChunks }
+
+// Seal sorts, distributes, and registers the array, making it queryable.
+// Queries seal pending arrays automatically.
+func (ar *Array) Seal() {
+	if ar.loaded {
+		return
+	}
+	ar.inner.SortAll()
+	ar.db.cluster.Load(ar.inner, ar.policy)
+	ar.loaded = true
+	delete(ar.db.pending, ar.Name())
+}
+
+// sealAll seals every pending array.
+func (db *DB) sealAll() {
+	for _, ar := range db.pending {
+		ar.Seal()
+	}
+}
+
+// LoadShipTracks generates and loads an AIS-like ship-tracking array
+// (heavily skewed toward port hotspots: ~85% of cells in ~5% of chunks),
+// dimensioned [time, longitude, latitude] with ship_id and speed
+// attributes. Used by the examples and benchmarks.
+func (db *DB) LoadShipTracks(name string, cells, seed int64) *Array {
+	a := workload.AISLike(name, workload.GeoConfig{Cells: cells, Seed: seed})
+	ar := &Array{db: db, inner: a}
+	ar.Seal()
+	return ar
+}
+
+// LoadSatelliteBand generates and loads a MODIS-like satellite imagery
+// band (near-uniform with mild equator-ward density), dimensioned
+// [time, longitude, latitude] with a float reflectance attribute.
+func (db *DB) LoadSatelliteBand(name string, cells, seed int64) *Array {
+	a := workload.MODISLike(name, workload.GeoConfig{Cells: cells, Seed: seed})
+	ar := &Array{db: db, inner: a}
+	ar.Seal()
+	return ar
+}
+
+// LoadSatelliteBandPair generates and loads two matched satellite bands
+// (Section 6.3.2's adversarial layout): the second shares the first's
+// sensor grid with independent readings and ~1.5% dropout.
+func (db *DB) LoadSatelliteBandPair(name1, name2 string, cells, seed int64) (*Array, *Array) {
+	b1, b2 := workload.MODISPair(name1, name2, workload.GeoConfig{Cells: cells, Seed: seed}, 0.015)
+	a1 := &Array{db: db, inner: b1}
+	a2 := &Array{db: db, inner: b2}
+	a1.Seal()
+	a2.Seal()
+	return a1, a2
+}
+
+// LoadFile loads a serialized array (.sjar, as written by cmd/datagen)
+// and registers it under its schema name.
+func (db *DB) LoadFile(path string) (*Array, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := storage.ReadArray(f)
+	if err != nil {
+		return nil, err
+	}
+	ar := &Array{db: db, inner: a}
+	ar.Seal()
+	return ar, nil
+}
+
+// queryConfig collects per-query options.
+type queryConfig struct {
+	planner     physical.Planner
+	selectivity float64
+	scheduling  simnet.Scheduling
+	parallel    bool
+	forceAlgo   string
+}
+
+// QueryOption customizes one Query call.
+type QueryOption func(*queryConfig) error
+
+// WithPlanner selects the physical planner: "baseline", "mbh", "tabu",
+// "ilp", or "coarse". The optional budget applies to the ILP solvers.
+func WithPlanner(name string, budget ...time.Duration) QueryOption {
+	return func(c *queryConfig) error {
+		b := 2 * time.Second
+		if len(budget) > 0 {
+			b = budget[0]
+		}
+		p, err := PlannerByName(name, b)
+		if err != nil {
+			return err
+		}
+		c.planner = p
+		return nil
+	}
+}
+
+// PlannerByName resolves a planner name.
+func PlannerByName(name string, budget time.Duration) (physical.Planner, error) {
+	switch name {
+	case "baseline", "b":
+		return physical.BaselinePlanner{}, nil
+	case "mbh", "minbandwidth":
+		return physical.MinBandwidthPlanner{}, nil
+	case "tabu":
+		return physical.TabuPlanner{}, nil
+	case "ilp":
+		return physical.ILPPlanner{Budget: budget}, nil
+	case "coarse", "ilp-c", "ilpcoarse":
+		return physical.CoarseILPPlanner{Budget: budget}, nil
+	default:
+		return nil, fmt.Errorf("shufflejoin: unknown planner %q (want baseline|mbh|tabu|ilp|coarse)", name)
+	}
+}
+
+// WithSelectivity supplies the optimizer's output-cardinality estimate:
+// the join is expected to produce sel·(n_left + n_right) cells.
+func WithSelectivity(sel float64) QueryOption {
+	return func(c *queryConfig) error {
+		if sel <= 0 {
+			return fmt.Errorf("shufflejoin: selectivity must be positive")
+		}
+		c.selectivity = sel
+		return nil
+	}
+}
+
+// WithAlgorithm forces the join algorithm: "hash", "merge", or
+// "nestedloop". By default the logical planner chooses.
+func WithAlgorithm(algo string) QueryOption {
+	return func(c *queryConfig) error {
+		switch algo {
+		case "hash", "merge", "nestedloop", "":
+			c.forceAlgo = algo
+			return nil
+		}
+		return fmt.Errorf("shufflejoin: unknown algorithm %q", algo)
+	}
+}
+
+// WithFIFOShuffle replaces the paper's greedy lock-skipping shuffle
+// scheduler with naive FIFO sending (for ablation).
+func WithFIFOShuffle() QueryOption {
+	return func(c *queryConfig) error {
+		c.scheduling = simnet.FIFONoSkip
+		return nil
+	}
+}
+
+// WithSequentialCompare disables per-node goroutine parallelism during
+// cell comparison (output is identical either way).
+func WithSequentialCompare() QueryOption {
+	return func(c *queryConfig) error {
+		c.parallel = false
+		return nil
+	}
+}
+
+// Query plans and executes an AQL join query, e.g.
+//
+//	SELECT A.v, B.w INTO T<v:int, w:int>[] FROM A JOIN B ON A.v = B.w
+//
+// Pending arrays are sealed (distributed and registered) first.
+func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
+	cfg := db.defaults
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	db.sealAll()
+
+	eo := exec.Options{
+		Planner:    cfg.planner,
+		Scheduling: cfg.scheduling,
+		Parallel:   cfg.parallel,
+		Logical:    logical.PlanOptions{Selectivity: cfg.selectivity},
+	}
+	if cfg.forceAlgo != "" {
+		a, err := algoByName(cfg.forceAlgo)
+		if err != nil {
+			return nil, err
+		}
+		eo.ForceAlgo = &a
+	}
+	parsed, err := aql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(parsed.From) > 2 {
+		// Multi-way join: greedy join ordering (the paper's Section 8
+		// future work, implemented in internal/aql).
+		mres, err := aql.RunMulti(db.cluster, q, eo)
+		if err != nil {
+			return nil, err
+		}
+		return newMultiResult(mres), nil
+	}
+	rep, err := aql.Run(db.cluster, q, eo)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rep), nil
+}
+
+// Explain enumerates the optimizer's candidate logical plans for a
+// two-way query without executing it, cheapest first.
+func (db *DB) Explain(q string, opts ...QueryOption) (*Explanation, error) {
+	cfg := db.defaults
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	db.sealAll()
+	eo := exec.Options{
+		Planner: cfg.planner,
+		Logical: logical.PlanOptions{Selectivity: cfg.selectivity},
+	}
+	ex, err := aql.Explain(db.cluster, q, eo)
+	if err != nil {
+		return nil, err
+	}
+	out := &Explanation{Selectivity: ex.Selectivity}
+	for _, p := range ex.Plans {
+		out.Plans = append(out.Plans, PlanInfo{
+			Plan:        p.Describe(),
+			Algorithm:   p.Algo.String(),
+			Units:       p.Units.String(),
+			NumUnits:    p.NumUnits,
+			Cost:        p.Cost,
+			AlignCost:   p.AlignCost,
+			CompareCost: p.CompareCost,
+			OutputCost:  p.OutCost,
+		})
+	}
+	return out, nil
+}
+
+// Redimension reorganizes a sealed array into a new schema across the
+// cluster — converting attributes to dimensions or realigning chunk
+// intervals — and registers the result under the new schema's name. It
+// returns the new array handle plus the simulated reorganization cost
+// (the redistribution network time and chunk re-sorting the paper's
+// Section 2.3.1 describes).
+func (ar *Array) Redimension(schemaLiteral string) (*Array, *ReorgReport, error) {
+	ar.Seal()
+	target, err := array.ParseSchema(schemaLiteral)
+	if err != nil {
+		return nil, nil, err
+	}
+	if target.Name == "" {
+		return nil, nil, fmt.Errorf("shufflejoin: redimension target needs a name")
+	}
+	d, err := ar.db.cluster.Catalog.Lookup(ar.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	out, rep, err := exec.Redistribute(ar.db.cluster, d, target, exec.RedistributeOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Array{db: ar.db, inner: out.Array, loaded: true}, &ReorgReport{
+		AlignSeconds: rep.AlignTime,
+		SortSeconds:  rep.SortTime,
+		TotalSeconds: rep.TotalTime,
+		CellsMoved:   rep.CellsMoved,
+	}, nil
+}
+
+// ReorgReport is the cost of a distributed redimension.
+type ReorgReport struct {
+	AlignSeconds float64
+	SortSeconds  float64
+	TotalSeconds float64
+	CellsMoved   int64
+}
+
+// JoinOrderStep is one planned step of a multi-way join preview.
+type JoinOrderStep struct {
+	Left, Right    string
+	EstimatedCells float64
+}
+
+// ExplainJoinOrder previews the greedy join order the multi-way optimizer
+// would use for a query over three or more arrays, without materializing
+// results in the database.
+func (db *DB) ExplainJoinOrder(q string) ([]JoinOrderStep, error) {
+	db.sealAll()
+	plan, err := aql.ExplainMulti(db.cluster, q, exec.Options{Parallel: true})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinOrderStep, len(plan.Steps))
+	for i, s := range plan.Steps {
+		out[i] = JoinOrderStep{Left: s.Left, Right: s.Right, EstimatedCells: s.EstimatedCost}
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package shufflejoin
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db, err := Open(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Nodes() != 4 {
+		t.Errorf("Nodes = %d", db.Nodes())
+	}
+	a, err := db.CreateArray("A<v:int>[i=1,100,10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.CreateArray("B<w:float>[i=1,100,10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 100; i++ {
+		if err := a.Insert([]int64{i}, i%10); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert([]int64{i}, float64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query("SELECT A.v, B.w FROM A, B WHERE A.i = B.i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 100 {
+		t.Errorf("Matches = %d, want 100", res.Matches)
+	}
+	if res.Algorithm != "merge" {
+		t.Errorf("Algorithm = %s, want merge for D:D", res.Algorithm)
+	}
+	cells := res.Cells()
+	if int64(len(cells)) != res.Matches {
+		t.Errorf("Cells() = %d", len(cells))
+	}
+	if _, ok := cells[0].Values[0].(int64); !ok {
+		t.Errorf("int attribute surfaced as %T", cells[0].Values[0])
+	}
+	if _, ok := cells[0].Values[1].(float64); !ok {
+		t.Errorf("float attribute surfaced as %T", cells[0].Values[1])
+	}
+	if !strings.Contains(res.String(), "matches") {
+		t.Error("String() not descriptive")
+	}
+}
+
+func TestInsertAfterSealFails(t *testing.T) {
+	db, _ := Open(2)
+	a, _ := db.CreateArray("A<v:int>[i=1,10,5]")
+	b, _ := db.CreateArray("B<w:int>[i=1,10,5]")
+	_ = a.Insert([]int64{1}, 1)
+	_ = b.Insert([]int64{1}, 1)
+	if _, err := db.Query("SELECT A.v FROM A, B WHERE A.i = B.i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert([]int64{2}, 2); err == nil {
+		t.Error("Insert after Seal should fail")
+	}
+}
+
+func TestQueryOptions(t *testing.T) {
+	db, _ := Open(3)
+	a, _ := db.CreateArray("A<v:int>[i=1,60,10]")
+	b, _ := db.CreateArray("B<w:int>[j=1,60,10]")
+	for i := int64(1); i <= 60; i++ {
+		_ = a.Insert([]int64{i}, i%12)
+		_ = b.Insert([]int64{i}, i%12)
+	}
+	q := "SELECT i, j INTO T<i:int, j:int>[] FROM A JOIN B ON A.v = B.w"
+	var want int64 = -1
+	for _, planner := range []string{"baseline", "mbh", "tabu", "ilp", "coarse"} {
+		res, err := db.Query(q,
+			WithPlanner(planner, 100*time.Millisecond),
+			WithAlgorithm("hash"),
+			WithSelectivity(2),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", planner, err)
+		}
+		if want == -1 {
+			want = res.Matches
+		}
+		if res.Matches != want {
+			t.Errorf("%s: Matches = %d, want %d", planner, res.Matches, want)
+		}
+		if res.Algorithm != "hash" {
+			t.Errorf("%s: Algorithm = %s", planner, res.Algorithm)
+		}
+	}
+	if want == 0 {
+		t.Error("expected matches")
+	}
+}
+
+func TestQueryOptionErrors(t *testing.T) {
+	db, _ := Open(2)
+	if _, err := db.Query("SELECT * FROM A, B WHERE A.i = B.i", WithPlanner("quantum")); err == nil {
+		t.Error("unknown planner should error")
+	}
+	if _, err := db.Query("x", WithSelectivity(-1)); err == nil {
+		t.Error("negative selectivity should error")
+	}
+	if _, err := db.Query("x", WithAlgorithm("bogus")); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if _, err := db.Query("SELECT * FROM Missing, Gone WHERE Missing.i = Gone.i"); err == nil {
+		t.Error("unknown arrays should error")
+	}
+}
+
+func TestSchedulingAndSequentialOptions(t *testing.T) {
+	run := func(opts ...QueryOption) int64 {
+		db, _ := Open(3)
+		a, _ := db.CreateArray("A<v:int>[i=1,90,10]")
+		b, _ := db.CreateArray("B<w:int>[i=1,90,10]")
+		for i := int64(1); i <= 90; i++ {
+			_ = a.Insert([]int64{i}, i)
+			_ = b.Insert([]int64{i}, i)
+		}
+		res, err := db.Query("SELECT A.v FROM A, B WHERE A.i = B.i", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Matches
+	}
+	if run(WithFIFOShuffle()) != run(WithSequentialCompare()) {
+		t.Error("options changed query semantics")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	db, _ := Open(4)
+	ships := db.LoadShipTracks("Broadcast", 20_000, 1)
+	band := db.LoadSatelliteBand("Band1", 20_000, 2)
+	if ships.CellCount() != 20_000 || band.CellCount() != 20_000 {
+		t.Errorf("generator cells = %d / %d", ships.CellCount(), band.CellCount())
+	}
+	res, err := db.Query(`SELECT Band1.reflectance, Broadcast.ship_id
+		FROM Band1, Broadcast
+		WHERE Band1.longitude = Broadcast.longitude
+		AND Band1.latitude = Broadcast.latitude`,
+		WithAlgorithm("merge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches == 0 {
+		t.Error("geo join found no matches")
+	}
+}
+
+func TestCreateArrayErrors(t *testing.T) {
+	db, _ := Open(2)
+	if _, err := db.CreateArray("<v:int>[i=1,10,5]"); err == nil {
+		t.Error("nameless schema should fail")
+	}
+	if _, err := db.CreateArray("A<v:frob>[i=1,10,5]"); err == nil {
+		t.Error("bad type should fail")
+	}
+	a, _ := db.CreateArray("A<v:int>[i=1,10,5]")
+	if err := a.Insert([]int64{1}, struct{}{}); err == nil {
+		t.Error("unsupported value type should fail")
+	}
+	if err := a.Insert([]int64{99}, 1); err == nil {
+		t.Error("out-of-range coordinate should fail")
+	}
+}
+
+func TestMultiWayQuery(t *testing.T) {
+	db, _ := Open(3)
+	sensors, _ := db.CreateArray("Sensors<site:int>[sid=1,40,10]")
+	readings, _ := db.CreateArray("Readings<sensor:int, value:float>[t=1,200,25]")
+	sites, _ := db.CreateArray("Sites<code:int, elevation:int>[s=1,8,4]")
+	for sid := int64(1); sid <= 40; sid++ {
+		_ = sensors.Insert([]int64{sid}, sid%8)
+	}
+	for ts := int64(1); ts <= 200; ts++ {
+		_ = readings.Insert([]int64{ts}, ts%40+1, float64(ts)/2)
+	}
+	for s := int64(1); s <= 8; s++ {
+		_ = sites.Insert([]int64{s}, s%8, s*100)
+	}
+	res, err := db.Query(`SELECT * FROM Readings, Sensors, Sites
+		WHERE Readings.sensor = Sensors.sid AND Sensors.site = Sites.code`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "multi" {
+		t.Errorf("Algorithm = %s, want multi", res.Algorithm)
+	}
+	if len(res.JoinOrder) != 2 {
+		t.Errorf("JoinOrder = %v", res.JoinOrder)
+	}
+	// Every reading has one sensor, every sensor one site -> 200 rows.
+	if res.Matches != 200 {
+		t.Errorf("Matches = %d, want 200", res.Matches)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db, _ := Open(4)
+	a, _ := db.CreateArray("A<v:int>[i=1,200,20]")
+	b, _ := db.CreateArray("B<w:int>[i=1,200,20]")
+	for i := int64(1); i <= 200; i++ {
+		_ = a.Insert([]int64{i}, i%9)
+		_ = b.Insert([]int64{i}, i%9)
+	}
+	ex, err := db.Explain("SELECT A.v FROM A, B WHERE A.i = B.i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Plans) < 3 {
+		t.Fatalf("only %d plans enumerated", len(ex.Plans))
+	}
+	// Cheapest first, and a same-shape D:D join must choose the pure scan
+	// merge plan.
+	for i := 1; i < len(ex.Plans); i++ {
+		if ex.Plans[i].Cost < ex.Plans[i-1].Cost {
+			t.Fatal("plans not sorted by cost")
+		}
+	}
+	if ex.Plans[0].Plan != "mergeJoin(A, B)" {
+		t.Errorf("best plan = %q, want mergeJoin(A, B)", ex.Plans[0].Plan)
+	}
+	if ex.Selectivity <= 0 {
+		t.Error("no selectivity estimate")
+	}
+	if _, err := db.Explain("SELECT nope FROM A, B WHERE A.i = B.i"); err == nil {
+		t.Error("bad query should fail to explain")
+	}
+}
+
+func TestRedimensionAndSaveAs(t *testing.T) {
+	db, _ := Open(3)
+	a, _ := db.CreateArray("Events<user:int>[t=1,120,20]")
+	for ts := int64(1); ts <= 120; ts++ {
+		_ = a.Insert([]int64{ts}, ts%30)
+	}
+	// Reorganize so user becomes a dimension.
+	byUser, rep, err := a.Redimension("ByUser<t:int>[user=0,29,10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byUser.CellCount() != 120 {
+		t.Errorf("cells = %d", byUser.CellCount())
+	}
+	if rep.TotalSeconds <= 0 || rep.CellsMoved == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// The redimensioned array is queryable.
+	b, _ := db.CreateArray("Users<name:string>[uid=0,29,10]")
+	for uid := int64(0); uid < 30; uid++ {
+		_ = b.Insert([]int64{uid}, "u")
+	}
+	res, err := db.Query("SELECT t FROM ByUser, Users WHERE ByUser.user = Users.uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 120 {
+		t.Errorf("Matches = %d, want 120", res.Matches)
+	}
+	// Chain: save the join output and query it again.
+	saved, err := res.SaveAs(db, "Joined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.CellCount() != 120 {
+		t.Errorf("saved cells = %d", saved.CellCount())
+	}
+	res2, err := db.Query("SELECT Joined.t FROM Joined, Users WHERE Joined.user = Users.uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Matches != 120 {
+		t.Errorf("chained Matches = %d", res2.Matches)
+	}
+	if _, err := res.SaveAs(db, ""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, _, err := a.Redimension("<t:int>[user=0,29,10]"); err == nil {
+		t.Error("nameless target should fail")
+	}
+}

@@ -25,13 +25,15 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10)")
 		scale     = flag.String("scale", "full", "experiment scale: small or full")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
-		budget    = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
-		calibrate = flag.Bool("calibrate", false, "measure the cost-model parameters m, b, p on this machine instead of using defaults")
+		budget      = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
+		maxExplored = flag.Int64("maxexplored", 0, "deterministic ILP node budget: cap branch-and-bound at N explored nodes (forces sequential ILP search so truncated plans reproduce exactly; wall-clock budget stays as a safety cap)")
+		par         = flag.Int("par", 0, "planner parallelism: workers for Tabu neighborhood evaluation and the ILP search (<= 1 sequential; results identical either way)")
+		calibrate   = flag.Bool("calibrate", false, "measure the cost-model parameters m, b, p on this machine instead of using defaults")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed}
-	rcfg := bench.RealConfig{Seed: *seed}
+	cfg := bench.Config{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par}
+	rcfg := bench.RealConfig{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par}
 	lcfg := bench.LogicalConfig{Seed: *seed}
 	switch *scale {
 	case "small":

@@ -32,6 +32,8 @@ func main() {
 		sel     = flag.Float64("sel", 0, "optimizer selectivity estimate (output = sel*(nA+nB))")
 		sample  = flag.Int("sample", 10, "output cells to print")
 		fifo    = flag.Bool("fifo", false, "use naive FIFO shuffle scheduling instead of greedy locks")
+		par     = flag.Int("par", 0, "planning/execution workers: 0 = one per CPU, 1 = sequential (results identical at every setting)")
+		strict  = flag.Bool("strict", false, "fail on output cells outside the destination's dimension ranges instead of clamping")
 		explain = flag.Bool("explain", false, "print the optimizer's candidate plans instead of executing")
 	)
 	flag.Parse()
@@ -71,6 +73,12 @@ func main() {
 	if *fifo {
 		opts = append(opts, shufflejoin.WithFIFOShuffle())
 	}
+	if *par != 0 {
+		opts = append(opts, shufflejoin.WithParallelism(*par))
+	}
+	if *strict {
+		opts = append(opts, shufflejoin.WithStrictBounds())
+	}
 
 	if *explain {
 		ex, err := db.Explain(query, opts...)
@@ -95,6 +103,9 @@ func main() {
 	fmt.Printf("planner:        %s\n", res.Planner)
 	fmt.Printf("matches:        %d\n", res.Matches)
 	fmt.Printf("cells moved:    %d\n", res.CellsMoved)
+	if res.ClampedCells > 0 {
+		fmt.Printf("WARNING: %d output cells clamped onto the destination boundary (rerun with -strict to fail instead)\n", res.ClampedCells)
+	}
 	fmt.Printf("query plan:     %8.3fs\n", res.PlanSeconds)
 	fmt.Printf("data align:     %8.3fs (simulated)\n", res.AlignSeconds)
 	fmt.Printf("cell compare:   %8.3fs (simulated)\n", res.CompareSeconds)

@@ -32,9 +32,19 @@ type Config struct {
 	CellsPerSide int64 // cells per input array (default 4M)
 	Seed         int64
 	ILPBudget    time.Duration // solver budget (default 2s; paper used 5 min)
-	CoarseBins   int           // default 75, as in Section 6.2
-	Params       physical.CostParams
-	Scheduling   simnet.Scheduling
+	// ILPMaxExplored caps the branch-and-bound search by explored nodes
+	// instead of wall-clock alone, making truncated plans machine- and
+	// load-independent; it forces the ILP search sequential (parallel
+	// truncation reintroduces schedule dependence). ILPBudget remains a
+	// secondary safety cap. Zero leaves the planners on wall-clock only.
+	ILPMaxExplored int64
+	// Workers parallelizes planner internals (Tabu neighborhood evaluation
+	// and, when ILPMaxExplored is unset, the ILP search). <= 1 keeps
+	// planning sequential; results are identical either way.
+	Workers    int
+	CoarseBins int // default 75, as in Section 6.2
+	Params     physical.CostParams
+	Scheduling simnet.Scheduling
 }
 
 func (c Config) withDefaults() Config {
@@ -65,12 +75,18 @@ var PlannerNames = []string{"B", "ILP", "ILP-C", "MBH", "Tabu"}
 // Planners instantiates the five physical planners of Section 6.2.
 func (c Config) Planners() map[string]physical.Planner {
 	c = c.withDefaults()
+	ilpWorkers := c.Workers
+	if c.ILPMaxExplored > 0 {
+		// A node budget only yields reproducible truncated searches when
+		// the search order is fixed, i.e. sequential.
+		ilpWorkers = 1
+	}
 	return map[string]physical.Planner{
 		"B":     physical.BaselinePlanner{},
-		"ILP":   physical.ILPPlanner{Budget: c.ILPBudget},
-		"ILP-C": physical.CoarseILPPlanner{Budget: c.ILPBudget, Bins: c.CoarseBins},
+		"ILP":   physical.ILPPlanner{Budget: c.ILPBudget, MaxExplored: c.ILPMaxExplored, Workers: ilpWorkers},
+		"ILP-C": physical.CoarseILPPlanner{Budget: c.ILPBudget, Bins: c.CoarseBins, MaxExplored: c.ILPMaxExplored, Workers: ilpWorkers},
 		"MBH":   physical.MinBandwidthPlanner{},
-		"Tabu":  physical.TabuPlanner{},
+		"Tabu":  physical.TabuPlanner{Workers: c.Workers},
 	}
 }
 

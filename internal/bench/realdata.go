@@ -17,12 +17,14 @@ import (
 // experiments: AIS-like ship tracks joined with MODIS-like satellite
 // imagery over 4°×4° geographic chunks.
 type RealConfig struct {
-	Nodes      int   // default 4, as in the paper's real-data cluster
-	AISCells   int64 // default 110k (110 GB scaled 1e-6)
-	MODISCells int64 // default 170k (170 GB scaled 1e-6)
-	Seed       int64
-	ILPBudget  time.Duration
-	CoarseBins int
+	Nodes          int   // default 4, as in the paper's real-data cluster
+	AISCells       int64 // default 110k (110 GB scaled 1e-6)
+	MODISCells     int64 // default 170k (170 GB scaled 1e-6)
+	Seed           int64
+	ILPBudget      time.Duration
+	ILPMaxExplored int64 // deterministic node budget (see Config)
+	Workers        int   // planner parallelism (see Config)
+	CoarseBins     int
 }
 
 func (c RealConfig) withDefaults() RealConfig {
@@ -45,7 +47,13 @@ func (c RealConfig) withDefaults() RealConfig {
 }
 
 func (c RealConfig) benchConfig() Config {
-	return Config{Nodes: c.Nodes, ILPBudget: c.ILPBudget, CoarseBins: c.CoarseBins}.withDefaults()
+	return Config{
+		Nodes:          c.Nodes,
+		ILPBudget:      c.ILPBudget,
+		ILPMaxExplored: c.ILPMaxExplored,
+		Workers:        c.Workers,
+		CoarseBins:     c.CoarseBins,
+	}.withDefaults()
 }
 
 // RealMeasurement is one bar of Figure 9 (or the adversarial companion):
@@ -140,7 +148,6 @@ func runReal(cfg RealConfig, left, right *array.Array, pred join.Predicate, out 
 		rep, err := exec.Run(c, left.Schema.Name, right.Schema.Name, pred, out, exec.Options{
 			Planner:   planners[name],
 			ForceAlgo: &algo,
-			Parallel:  true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: planner %s: %w", name, err)

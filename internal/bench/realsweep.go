@@ -78,7 +78,6 @@ func RealSkewSweep(cfg RealSweepConfig) ([]PhysMeasurement, error) {
 			rep, err := exec.Run(c, "A", "B", pred, nil, exec.Options{
 				Planner:   planners[name],
 				ForceAlgo: &algo,
-				Parallel:  true,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: real sweep alpha=%v planner=%s: %w", alpha, name, err)

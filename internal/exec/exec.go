@@ -13,13 +13,13 @@ package exec
 import (
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/shuffle"
 	"shufflejoin/internal/simnet"
@@ -44,9 +44,17 @@ type Options struct {
 	ForceAlgo *join.Algorithm
 	// TargetCellsPerChunk tunes join-dimension inference.
 	TargetCellsPerChunk int64
-	// Parallel runs per-node cell comparison on real goroutines. Output is
-	// identical either way.
-	Parallel bool
+	// Parallelism is the worker count for the execution hot paths (slice
+	// mapping and per-node cell comparison): 0 means one worker per CPU
+	// (the default — parallel execution is on unless disabled), 1 forces
+	// sequential execution, and n > 1 uses n workers. Output, join stats,
+	// and modeled times are bit-for-bit identical at every setting.
+	Parallelism int
+	// StrictBounds makes the executor fail when an output cell's
+	// coordinates fall outside the destination's dimension ranges instead
+	// of silently clamping them (clamped cells can collide and overwrite
+	// each other). Clamps are counted in Report.ClampedCells either way.
+	StrictBounds bool
 	// ExtraCarryLeft/ExtraCarryRight name additional source attributes to
 	// carry through the shuffle (columns referenced only by SELECT
 	// expressions).
@@ -55,10 +63,13 @@ type Options struct {
 	// output attribute values of each match instead of name-based field
 	// mapping (SELECT expression evaluation). The factory runs after the
 	// join schema is inferred; build per-field accessors with Accessor.
-	// The returned function must be safe for concurrent use when Parallel
-	// is set.
+	// The returned function must be safe for concurrent use unless
+	// Parallelism is 1.
 	ProjectFactory func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error)
 }
+
+// workers resolves the Parallelism knob to an effective worker count.
+func (o *Options) workers() int { return par.Workers(o.Parallelism) }
 
 // Accessor resolves a source field of the join into an extractor over
 // matched tuple pairs: dimensions read coordinates, attributes read carried
@@ -124,8 +135,14 @@ type Report struct {
 	JoinStats  join.Stats
 	Matches    int64
 	CellsMoved int64
-	Output     *array.Array
-	WallTime   time.Duration
+	// ClampedCells counts output cells whose coordinates fell outside the
+	// destination's dimension ranges and were clamped onto the boundary.
+	// Clamped cells can collide with real cells and overwrite them, so a
+	// nonzero count is a data-fidelity warning (or an error under
+	// Options.StrictBounds).
+	ClampedCells int64
+	Output       *array.Array
+	WallTime     time.Duration
 }
 
 // Run executes τ = left ⋈ right over the cluster.
@@ -253,13 +270,15 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 	js := lp.JS
 	rep := &Report{Logical: *lp}
 
+	workers := opt.workers()
+
 	// ---- Slice mapping (Section 3.3) ----
 	spec, lm, rm := logical.UnitSpecFor(lp)
-	ssl, err := shuffle.MapSide(dl, c.K, spec, lm)
+	ssl, err := shuffle.MapSideN(dl, c.K, spec, lm, workers)
 	if err != nil {
 		return nil, err
 	}
-	ssr, err := shuffle.MapSide(dr, c.K, spec, rm)
+	ssr, err := shuffle.MapSideN(dr, c.K, spec, rm, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -365,22 +384,11 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 			}
 		}
 	}
-	if opt.Parallel {
-		var wg sync.WaitGroup
-		for node := 0; node < c.K; node++ {
-			wg.Add(1)
-			go func(n int) {
-				defer wg.Done()
-				process(n)
-			}(node)
-		}
-		wg.Wait()
-	} else {
-		for node := 0; node < c.K; node++ {
-			process(node)
-		}
-	}
+	par.ForEach(c.K, workers, process)
 
+	// Replay per-node results in node order: results[node] slots are
+	// filled independently, so the output below is identical no matter
+	// how the worker pool interleaved the nodes.
 	for node := 0; node < c.K; node++ {
 		no := &results[node]
 		if no.err != nil {
@@ -391,8 +399,12 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 			rep.CompareTime = no.time
 		}
 		for _, cell := range no.cells {
-			if err := putClamped(outArr, cell.Coords, cell.Attrs); err != nil {
+			clamped, err := putClamped(outArr, cell.Coords, cell.Attrs, opt.StrictBounds)
+			if err != nil {
 				return nil, err
+			}
+			if clamped {
+				rep.ClampedCells++
 			}
 		}
 	}
@@ -467,17 +479,25 @@ func catalogHistogram(c *cluster.Cluster) func(arrayName, attrName string) *stat
 
 // putClamped stores an output cell, clamping coordinates into the
 // destination's dimension ranges (join keys can exceed a destination
-// declared smaller than the data).
-func putClamped(a *array.Array, coords []int64, attrs []array.Value) error {
+// declared smaller than the data). It reports whether any coordinate was
+// clamped; under strict bounds an out-of-range cell is an error instead.
+func putClamped(a *array.Array, coords []int64, attrs []array.Value, strict bool) (bool, error) {
+	clamped := false
 	for i, d := range a.Schema.Dims {
-		if coords[i] < d.Start {
-			coords[i] = d.Start
-		}
-		if coords[i] > d.End {
-			coords[i] = d.End
+		if coords[i] < d.Start || coords[i] > d.End {
+			if strict {
+				return false, fmt.Errorf("exec: output cell %v outside destination dimension %s=[%d,%d] (StrictBounds)",
+					coords, d.Name, d.Start, d.End)
+			}
+			clamped = true
+			if coords[i] < d.Start {
+				coords[i] = d.Start
+			} else {
+				coords[i] = d.End
+			}
 		}
 	}
-	return a.Put(coords, attrs)
+	return clamped, a.Put(coords, attrs)
 }
 
 // newOutputArray materializes the destination schema. A destination with

@@ -150,20 +150,105 @@ func TestAllPlannersSameOutput(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequential is the executor's determinism contract:
+// for every join algorithm, every Parallelism setting produces the same
+// output cells, join statistics, modeled phase times, and counters.
 func TestParallelMatchesSequential(t *testing.T) {
 	a := buildArray("A<v:int>[i=1,500,50]", 9, 300, 80)
 	b := buildArray("B<w:int>[i=1,500,50]", 10, 320, 80)
 	pred := join.Predicate{{Left: join.Term{Name: "i"}, Right: join.Term{Name: "i"}}}
-	run := func(par bool) []array.StoredCell {
-		c := newCluster(t, 4, a.Clone(), b.Clone())
-		rep, err := Run(c, "A", "B", pred, nil, Options{Parallel: par})
-		if err != nil {
-			t.Fatalf("parallel=%v: %v", par, err)
-		}
-		return rep.Output.Cells()
+	type outcome struct {
+		Cells        []array.StoredCell
+		Matches      int64
+		CellsMoved   int64
+		ClampedCells int64
+		AlignTime    float64
+		CompareTime  float64
+		Stats        join.Stats
 	}
-	if !reflect.DeepEqual(run(false), run(true)) {
-		t.Error("parallel execution changed the output")
+	for _, algo := range []join.Algorithm{join.Hash, join.Merge, join.NestedLoop} {
+		algo := algo
+		run := func(parallelism int) outcome {
+			c := newCluster(t, 4, a.Clone(), b.Clone())
+			rep, err := Run(c, "A", "B", pred, nil, Options{Parallelism: parallelism, ForceAlgo: &algo})
+			if err != nil {
+				t.Fatalf("%v parallelism=%d: %v", algo, parallelism, err)
+			}
+			return outcome{
+				Cells:        rep.Output.Cells(),
+				Matches:      rep.Matches,
+				CellsMoved:   rep.CellsMoved,
+				ClampedCells: rep.ClampedCells,
+				AlignTime:    rep.AlignTime,
+				CompareTime:  rep.CompareTime,
+				Stats:        rep.JoinStats,
+			}
+		}
+		ref := run(1)
+		for _, p := range []int{0, 2, 3} {
+			if got := run(p); !reflect.DeepEqual(got, ref) {
+				t.Errorf("%v: parallelism=%d changed the result:\n got %+v\nwant %+v", algo, p, got, ref)
+			}
+		}
+	}
+}
+
+// clampSetup builds a join whose destination dimension v=[0,19] covers only
+// half the key domain 0..39, so every match pair with key >= 20 produces an
+// out-of-range output cell.
+func clampSetup(t *testing.T) (c *cluster.Cluster, out *array.Schema, pred join.Predicate, wantClamped int64) {
+	t.Helper()
+	a := buildArray("A<v:int>[i=1,300,30]", 15, 150, 40)
+	b := buildArray("B<w:int>[j=1,300,30]", 16, 160, 40)
+	out = array.MustParseSchema("T<i:int, j:int>[v=0,19,5]")
+	pred = join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	counts := make(map[int64]int64)
+	b.Scan(func(_ []int64, attrs []array.Value) bool {
+		counts[attrs[0].AsInt()]++
+		return true
+	})
+	a.Scan(func(_ []int64, attrs []array.Value) bool {
+		if v := attrs[0].AsInt(); v > 19 {
+			wantClamped += counts[v]
+		}
+		return true
+	})
+	if wantClamped == 0 {
+		t.Fatal("setup produced no out-of-range matches")
+	}
+	return newCluster(t, 3, a, b), out, pred, wantClamped
+}
+
+func TestClampedCellsCounted(t *testing.T) {
+	c, out, pred, want := clampSetup(t)
+	rep, err := Run(c, "A", "B", pred, out, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.ClampedCells != want {
+		t.Errorf("ClampedCells = %d, want %d", rep.ClampedCells, want)
+	}
+}
+
+func TestStrictBoundsRejectsClamp(t *testing.T) {
+	c, out, pred, _ := clampSetup(t)
+	if _, err := Run(c, "A", "B", pred, out, Options{StrictBounds: true}); err == nil {
+		t.Error("StrictBounds should fail on out-of-range output cells")
+	}
+}
+
+func TestStrictBoundsAcceptsInRange(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,300,30]", 3, 200, 40)
+	b := buildArray("B<w:int>[j=1,300,30]", 4, 180, 40)
+	out := array.MustParseSchema("T<i:int, j:int>[v=0,39,8]") // covers the domain
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 4, a, b)
+	rep, err := Run(c, "A", "B", pred, out, Options{StrictBounds: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.ClampedCells != 0 {
+		t.Errorf("ClampedCells = %d, want 0", rep.ClampedCells)
 	}
 }
 

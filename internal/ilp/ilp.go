@@ -8,16 +8,34 @@
 // receive cell counts (Equations 10–11) — and g bounds the worst per-node
 // cell-comparison load (Equation 12). The paper applies the SCIP solver to
 // this program; this package substitutes an exact branch-and-bound over the
-// same model with the same anytime behaviour: the search runs under a time
+// same model with the same anytime behaviour: the search runs under a
 // budget and returns the best incumbent when the budget expires, flagging
 // whether optimality was proven.
+//
+// # Determinism
+//
+// The solver canonicalizes ties: among equal-objective assignments it
+// prefers the lexicographically smallest assignment vector (by unit
+// index), and pruning is strict (a subtree is cut only when its lower
+// bound exceeds the incumbent objective), so equal-cost regions are always
+// searched. As a result, whenever the search space is exhausted
+// (Solution.Optimal), the returned assignment is a canonical function of
+// the Problem alone — identical for any Workers setting and across runs.
+// Budget-truncated searches are reproducible with Workers <= 1 and a
+// MaxExplored node budget; wall-clock-truncated or parallel-truncated
+// searches return a valid incumbent but its identity is machine- and
+// schedule-dependent.
 package ilp
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 	"time"
+
+	"shufflejoin/internal/par"
 )
 
 // Problem is one instance: n join units over k nodes.
@@ -32,20 +50,43 @@ type Problem struct {
 	Transfer float64
 }
 
+// Options configures one Solve run.
+type Options struct {
+	// Budget is the wall-clock cap. When zero and MaxExplored is also
+	// zero, the budget is treated as already expired (legacy Solve(p, 0)
+	// behaviour): the first depth-first descent still completes, so a
+	// valid incumbent is returned. When zero with MaxExplored set, only
+	// the node budget applies.
+	Budget time.Duration
+	// MaxExplored caps the number of branch-and-bound nodes explored.
+	// Unlike Budget it is machine- and load-independent: with Workers <= 1
+	// the explored node set — and therefore the incumbent — is a pure
+	// function of the Problem, making budget-truncated plans reproducible.
+	// Zero means no node cap. Wall-clock remains a secondary cap when both
+	// are set.
+	MaxExplored int64
+	// Workers is the parallelism of the search: the first few branching
+	// levels are expanded into subtree tasks, and Workers goroutines drain
+	// the task queue sharing one atomic incumbent bound. <= 1 searches
+	// sequentially. Any value returns the same canonical optimum when the
+	// search completes.
+	Workers int
+}
+
 // Solution is the solver's answer.
 type Solution struct {
 	Assignment []int   // unit -> node
 	Objective  float64 // modeled cost d + g of the assignment
 	Optimal    bool    // true when the search space was exhausted
-	Nodes      int64   // branch-and-bound nodes explored
+	Nodes      int64   // branch-and-bound nodes explored (informational; varies with Workers > 1)
 	Elapsed    time.Duration
 }
 
-// ErrNoBudget is returned when the time budget expires before any complete
-// assignment has been constructed (it cannot happen with budget > 0, since
-// the first depth-first descent completes immediately, but a zero budget
-// surfaces it).
-var ErrNoBudget = errors.New("ilp: time budget expired before any solution")
+// ErrNoBudget is returned when the budget expires before any complete
+// assignment has been constructed (it cannot happen with a positive
+// budget, since the first depth-first descent completes immediately, but a
+// zero budget surfaces it).
+var ErrNoBudget = errors.New("ilp: budget expired before any solution")
 
 // Validate checks the instance.
 func (p *Problem) Validate() error {
@@ -65,6 +106,11 @@ func (p *Problem) Validate() error {
 
 // Solve runs branch and bound under the given wall-clock budget.
 func Solve(p *Problem, budget time.Duration) (Solution, error) {
+	return SolveOpts(p, Options{Budget: budget})
+}
+
+// SolveOpts runs branch and bound under the given options.
+func SolveOpts(p *Problem, opts Options) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -84,39 +130,150 @@ func Solve(p *Problem, budget time.Duration) (Solution, error) {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return st.unitTotal[order[a]] > st.unitTotal[order[b]] })
 
-	s := &solver{
-		p:        p,
-		st:       st,
-		order:    order,
-		deadline: start.Add(budget),
-		best:     nil,
-		bestObj:  0,
+	ctx := &searchCtx{
+		p:           p,
+		st:          st,
+		order:       order,
+		maxExplored: opts.MaxExplored,
 	}
+	if opts.Budget > 0 {
+		ctx.deadline = start.Add(opts.Budget)
+	} else if opts.MaxExplored <= 0 {
+		ctx.deadline = start // legacy zero-budget: expired from the outset
+	}
+	ctx.bound.Store(math.Float64bits(math.Inf(1)))
 	// Suffix sums over the branching order: remaining per-node resident
 	// cells and remaining unavoidable receives, for O(k) lower bounds.
-	s.remCol = make([][]int64, n+1)
-	s.remRecvMin = make([]int64, n+1)
-	s.remCol[n] = make([]int64, p.K)
+	ctx.remCol = make([][]int64, n+1)
+	ctx.remRecvMin = make([]int64, n+1)
+	ctx.remCol[n] = make([]int64, p.K)
 	for d := n - 1; d >= 0; d-- {
 		i := order[d]
-		s.remCol[d] = make([]int64, p.K)
+		ctx.remCol[d] = make([]int64, p.K)
 		for j := 0; j < p.K; j++ {
-			s.remCol[d][j] = s.remCol[d+1][j] + p.Sizes[i][j]
+			ctx.remCol[d][j] = ctx.remCol[d+1][j] + p.Sizes[i][j]
 		}
-		s.remRecvMin[d] = s.remRecvMin[d+1] + st.unitTotal[i] - st.maxSlice[i]
+		ctx.remRecvMin[d] = ctx.remRecvMin[d+1] + st.unitTotal[i] - st.maxSlice[i]
 	}
-	s.dfs(0)
 
-	if s.best == nil {
+	// Seed every worker with the deterministic greedy descent: the search
+	// then spends its budget improving a decent plan instead of proving
+	// lex-minimality of a poor first incumbent, and a budget-expired run
+	// still returns at least the greedy plan.
+	seed, seedObj := greedySeed(ctx)
+	ctx.publish(seedObj)
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := genTasks(ctx, workers)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]*worker, workers)
+	var nextTask atomic.Int64
+	par.Do(workers, func(wid int) {
+		w := newWorker(ctx)
+		w.best = append([]int(nil), seed...)
+		w.bestObj = seedObj
+		results[wid] = w
+		for {
+			ti := int(nextTask.Add(1)) - 1
+			if ti >= len(tasks) {
+				return
+			}
+			if ctx.timedOut.Load() && w.best != nil {
+				return
+			}
+			w.runTask(tasks[ti])
+		}
+	})
+
+	// Merge the per-worker incumbents with the canonical (objective, lex)
+	// order — independent of which worker drained which task.
+	var best []int
+	bestObj := 0.0
+	for _, w := range results {
+		if w == nil || w.best == nil {
+			continue
+		}
+		if best == nil || w.bestObj < bestObj || (w.bestObj == bestObj && lexLess(w.best, best)) {
+			best, bestObj = w.best, w.bestObj
+		}
+	}
+	if best == nil {
 		return Solution{}, ErrNoBudget
 	}
 	return Solution{
-		Assignment: s.best,
-		Objective:  s.bestObj,
-		Optimal:    !s.timedOut,
-		Nodes:      s.explored,
+		Assignment: append([]int(nil), best...),
+		Objective:  bestObj,
+		Optimal:    !ctx.timedOut.Load(),
+		Nodes:      ctx.explored.Load(),
 		Elapsed:    time.Since(start),
 	}, nil
+}
+
+// genTasks expands the first branching levels breadth-first into prefix
+// assignments (over ctx.order), sized so the worker pool has several tasks
+// per worker. With workers == 1 the single empty prefix reproduces the
+// classic sequential descent.
+func genTasks(ctx *searchCtx, workers int) [][]int {
+	tasks := [][]int{nil}
+	if workers <= 1 {
+		return tasks
+	}
+	target := workers * 8
+	depth := 0
+	for depth < len(ctx.order) && len(tasks) < target && len(tasks)*ctx.p.K <= 4096 {
+		unit := ctx.order[depth]
+		next := make([][]int, 0, len(tasks)*ctx.p.K)
+		for _, t := range tasks {
+			for _, j := range ctx.st.candOrder[unit] {
+				nt := make([]int, depth+1)
+				copy(nt, t)
+				nt[depth] = j
+				next = append(next, nt)
+			}
+		}
+		tasks = next
+		depth++
+	}
+	return tasks
+}
+
+// greedySeed constructs the initial incumbent: units in branching order,
+// each placed on the node minimizing the partial objective, ties broken by
+// candidate order. A pure function of the Problem, so the seed — and with
+// it every budget-expired answer at Workers <= 1 — is deterministic.
+func greedySeed(ctx *searchCtx) ([]int, float64) {
+	w := newWorker(ctx)
+	for _, unit := range ctx.order {
+		bestJ := -1
+		bestObj := math.Inf(1)
+		for _, j := range ctx.st.candOrder[unit] {
+			w.place(unit, j)
+			obj := w.objective()
+			w.unplace(unit, j)
+			if obj < bestObj {
+				bestObj, bestJ = obj, j
+			}
+		}
+		w.place(unit, bestJ)
+	}
+	return append([]int(nil), w.assign...), w.objective()
+}
+
+// lexLess orders assignment vectors lexicographically by unit index — the
+// canonical tie-break among equal-objective assignments.
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // searchState precomputes per-instance quantities.
@@ -164,77 +321,146 @@ func newSearchState(p *Problem) *searchState {
 	return st
 }
 
-type solver struct {
-	p        *Problem
-	st       *searchState
-	order    []int
-	deadline time.Time
+// searchCtx is the state shared by every worker of one SolveOpts run: the
+// read-only instance data plus the atomic incumbent bound, node counter,
+// and expiry flag.
+type searchCtx struct {
+	p     *Problem
+	st    *searchState
+	order []int
 
-	// Suffix sums over the branching order (see Solve).
+	// Suffix sums over the branching order (see SolveOpts).
 	remCol     [][]int64
 	remRecvMin []int64
 
-	// Mutable per-node accumulators for the partial assignment.
-	ownSum []int64   // cells of units assigned to j that already live on j
-	recv   []int64   // cells units assigned to j must pull from elsewhere
-	comp   []float64 // comparison load assigned to j
-	assign []int
+	deadline    time.Time // zero = no wall-clock cap
+	maxExplored int64     // 0 = no node cap
 
-	best     []int
-	bestObj  float64
-	timedOut bool
-	explored int64
+	bound    atomic.Uint64 // float64 bits of the best published objective
+	explored atomic.Int64
+	timedOut atomic.Bool
 }
 
-func (s *solver) dfs(depth int) {
-	if s.assign == nil {
-		n := len(s.p.Sizes)
-		s.ownSum = make([]int64, s.p.K)
-		s.recv = make([]int64, s.p.K)
-		s.comp = make([]float64, s.p.K)
-		s.assign = make([]int, n)
-		for i := range s.assign {
-			s.assign[i] = -1
+// boundVal returns the best objective any worker has published (+Inf when
+// none). Objectives are non-negative, so the float bit pattern is
+// order-preserving and a plain uint64 min works.
+func (ctx *searchCtx) boundVal() float64 { return math.Float64frombits(ctx.bound.Load()) }
+
+// publish lowers the shared incumbent bound to obj (monotone CAS min).
+func (ctx *searchCtx) publish(obj float64) {
+	bits := math.Float64bits(obj)
+	for {
+		cur := ctx.bound.Load()
+		if bits >= cur || ctx.bound.CompareAndSwap(cur, bits) {
+			return
 		}
 	}
-	s.explored++
-	if s.explored%4096 == 0 && time.Now().After(s.deadline) {
-		s.timedOut = true
+}
+
+// worker is one goroutine's search state: mutable per-node accumulators
+// for the partial assignment plus its local incumbent.
+type worker struct {
+	ctx        *searchCtx
+	ownSum     []int64   // cells of units assigned to j that already live on j
+	recv       []int64   // cells units assigned to j must pull from elsewhere
+	comp       []float64 // comparison load assigned to j
+	assign     []int
+	best       []int
+	bestObj    float64
+	sinceCheck int
+}
+
+func newWorker(ctx *searchCtx) *worker {
+	n := len(ctx.p.Sizes)
+	w := &worker{
+		ctx:    ctx,
+		ownSum: make([]int64, ctx.p.K),
+		recv:   make([]int64, ctx.p.K),
+		comp:   make([]float64, ctx.p.K),
+		assign: make([]int, n),
 	}
-	if s.timedOut && s.best != nil {
+	for i := range w.assign {
+		w.assign[i] = -1
+	}
+	return w
+}
+
+// runTask replays a prefix assignment (over ctx.order) into fresh
+// accumulators, then searches the subtree below it.
+func (w *worker) runTask(prefix []int) {
+	ctx := w.ctx
+	for j := range w.ownSum {
+		w.ownSum[j], w.recv[j], w.comp[j] = 0, 0, 0
+	}
+	for i := range w.assign {
+		w.assign[i] = -1
+	}
+	for d, j := range prefix {
+		unit := ctx.order[d]
+		w.place(unit, j)
+	}
+	w.dfs(len(prefix))
+}
+
+func (w *worker) place(unit, j int) {
+	w.assign[unit] = j
+	w.ownSum[j] += w.ctx.p.Sizes[unit][j]
+	w.recv[j] += w.ctx.st.unitTotal[unit] - w.ctx.p.Sizes[unit][j]
+	w.comp[j] += w.ctx.p.Comp[unit]
+}
+
+func (w *worker) unplace(unit, j int) {
+	w.assign[unit] = -1
+	w.ownSum[j] -= w.ctx.p.Sizes[unit][j]
+	w.recv[j] -= w.ctx.st.unitTotal[unit] - w.ctx.p.Sizes[unit][j]
+	w.comp[j] -= w.ctx.p.Comp[unit]
+}
+
+func (w *worker) dfs(depth int) {
+	ctx := w.ctx
+	if n := ctx.explored.Add(1); ctx.maxExplored > 0 && n > ctx.maxExplored {
+		ctx.timedOut.Store(true)
+	}
+	w.sinceCheck++
+	if w.sinceCheck >= 4096 {
+		w.sinceCheck = 0
+		if !ctx.deadline.IsZero() && time.Now().After(ctx.deadline) {
+			ctx.timedOut.Store(true)
+		}
+	}
+	if w.best != nil && ctx.timedOut.Load() {
 		return
 	}
 
-	if depth == len(s.order) {
-		obj := s.objective()
-		if s.best == nil || obj < s.bestObj {
-			s.best = append([]int(nil), s.assign...)
-			s.bestObj = obj
+	if depth == len(ctx.order) {
+		obj := w.objective()
+		if w.best == nil || obj < w.bestObj || (obj == w.bestObj && lexLess(w.assign, w.best)) {
+			w.best = append(w.best[:0], w.assign...)
+			w.bestObj = obj
+			ctx.publish(obj)
 		}
 		return
 	}
-	if s.best != nil && s.lowerBound(depth) >= s.bestObj {
+	// Strict pruning (>) keeps equal-objective subtrees alive so the
+	// canonical lex-smallest optimum is always reachable, regardless of
+	// how fast other workers tighten the shared bound.
+	bound := ctx.boundVal()
+	if w.best != nil && w.bestObj < bound {
+		bound = w.bestObj
+	}
+	if !math.IsInf(bound, 1) && w.lowerBound(depth) > bound {
 		return
 	}
 
-	unit := s.order[depth]
-	row := s.p.Sizes[unit]
+	unit := ctx.order[depth]
 
 	// Try nodes in descending local-slice order: keeping the unit near its
 	// data is usually best, so good incumbents appear early.
-	for _, j := range s.st.candOrder[unit] {
-		s.assign[unit] = j
-		s.ownSum[j] += row[j]
-		s.recv[j] += s.st.unitTotal[unit] - row[j]
-		s.comp[j] += s.p.Comp[unit]
-
-		s.dfs(depth + 1)
-
-		s.assign[unit] = -1
-		s.ownSum[j] -= row[j]
-		s.recv[j] -= s.st.unitTotal[unit] - row[j]
-		s.comp[j] -= s.p.Comp[unit]
-		if s.timedOut && s.best != nil {
+	for _, j := range ctx.st.candOrder[unit] {
+		w.place(unit, j)
+		w.dfs(depth + 1)
+		w.unplace(unit, j)
+		if w.best != nil && ctx.timedOut.Load() {
 			return
 		}
 	}
@@ -242,47 +468,48 @@ func (s *solver) dfs(depth int) {
 
 // objective computes d + g for a complete assignment:
 // d = t · max(max_j send_j, max_j recv_j), g = max_j comp_j.
-func (s *solver) objective() float64 {
+func (w *worker) objective() float64 {
 	var maxSend, maxRecv int64
 	var maxComp float64
-	for j := 0; j < s.p.K; j++ {
-		send := s.st.colTotal[j] - s.ownSum[j]
+	for j := 0; j < w.ctx.p.K; j++ {
+		send := w.ctx.st.colTotal[j] - w.ownSum[j]
 		if send > maxSend {
 			maxSend = send
 		}
-		if s.recv[j] > maxRecv {
-			maxRecv = s.recv[j]
+		if w.recv[j] > maxRecv {
+			maxRecv = w.recv[j]
 		}
-		if s.comp[j] > maxComp {
-			maxComp = s.comp[j]
+		if w.comp[j] > maxComp {
+			maxComp = w.comp[j]
 		}
 	}
 	move := maxSend
 	if maxRecv > move {
 		move = maxRecv
 	}
-	return float64(move)*s.p.Transfer + maxComp
+	return float64(move)*w.ctx.p.Transfer + maxComp
 }
 
 // lowerBound is an admissible bound on the best completion of the current
 // partial assignment (units at order positions < depth are fixed).
-func (s *solver) lowerBound(depth int) float64 {
+func (w *worker) lowerBound(depth int) float64 {
+	ctx := w.ctx
 	// Receive: already-accumulated per-node receives only grow; each
 	// remaining unit must pull at least S_i - max_j s_ij cells. Spreading
 	// that perfectly gives a max-receive bound.
 	var curMaxRecv, curRecvSum int64
 	var curMaxComp float64
-	for j := 0; j < s.p.K; j++ {
-		if s.recv[j] > curMaxRecv {
-			curMaxRecv = s.recv[j]
+	for j := 0; j < ctx.p.K; j++ {
+		if w.recv[j] > curMaxRecv {
+			curMaxRecv = w.recv[j]
 		}
-		curRecvSum += s.recv[j]
-		if s.comp[j] > curMaxComp {
-			curMaxComp = s.comp[j]
+		curRecvSum += w.recv[j]
+		if w.comp[j] > curMaxComp {
+			curMaxComp = w.comp[j]
 		}
 	}
 	recvLB := curMaxRecv
-	if avg := (curRecvSum + s.remRecvMin[depth] + int64(s.p.K) - 1) / int64(s.p.K); avg > recvLB {
+	if avg := (curRecvSum + ctx.remRecvMin[depth] + int64(ctx.p.K) - 1) / int64(ctx.p.K); avg > recvLB {
 		recvLB = avg
 	}
 
@@ -290,8 +517,8 @@ func (s *solver) lowerBound(depth int) float64 {
 	// of units assigned to it. Remaining units could at best keep all their
 	// j-resident cells home.
 	var sendLB int64
-	for j := 0; j < s.p.K; j++ {
-		lb := s.st.colTotal[j] - s.ownSum[j] - s.remCol[depth][j]
+	for j := 0; j < ctx.p.K; j++ {
+		lb := ctx.st.colTotal[j] - w.ownSum[j] - ctx.remCol[depth][j]
 		if lb > sendLB {
 			sendLB = lb
 		}
@@ -300,7 +527,7 @@ func (s *solver) lowerBound(depth int) float64 {
 	// Comparison: remaining comp spread perfectly still bounds max comp by
 	// the average of the total.
 	compLB := curMaxComp
-	if avg := s.st.totalComp / float64(s.p.K); avg > compLB {
+	if avg := ctx.st.totalComp / float64(ctx.p.K); avg > compLB {
 		compLB = avg
 	}
 
@@ -308,5 +535,5 @@ func (s *solver) lowerBound(depth int) float64 {
 	if sendLB > move {
 		move = sendLB
 	}
-	return float64(move)*s.p.Transfer + compLB
+	return float64(move)*ctx.p.Transfer + compLB
 }

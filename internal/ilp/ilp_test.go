@@ -3,6 +3,7 @@ package ilp
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -212,6 +213,81 @@ func TestLargerBudgetNeverWorse(t *testing.T) {
 	}
 	if long.Objective > short.Objective+1e-9 {
 		t.Errorf("longer budget worsened objective: %v -> %v", short.Objective, long.Objective)
+	}
+}
+
+// TestParallelMatchesSequential is the solver's determinism contract:
+// whenever the search exhausts, every Workers setting returns the identical
+// canonical (objective, lex-smallest) optimum.
+func TestParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, rng.Intn(7)+3, rng.Intn(2)+2)
+		seq, err := SolveOpts(p, Options{Budget: 10 * time.Second, Workers: 1})
+		if err != nil || !seq.Optimal {
+			return false
+		}
+		for _, w := range []int{2, 3, 8} {
+			par, err := SolveOpts(p, Options{Budget: 10 * time.Second, Workers: w})
+			if err != nil || !par.Optimal {
+				return false
+			}
+			if par.Objective != seq.Objective || !reflect.DeepEqual(par.Assignment, seq.Assignment) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxExploredReproducible: a node budget (unlike wall-clock) makes a
+// truncated sequential search a pure function of the Problem — two runs
+// return byte-identical solutions and explored-node counts.
+func TestMaxExploredReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := randomProblem(rng, 120, 5)
+	opts := Options{MaxExplored: 20_000}
+	first, err := SolveOpts(p, opts)
+	if err != nil {
+		t.Fatalf("SolveOpts: %v", err)
+	}
+	if first.Optimal {
+		t.Fatalf("instance too easy: solved optimally within %d nodes", opts.MaxExplored)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := SolveOpts(p, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if again.Objective != first.Objective ||
+			again.Nodes != first.Nodes ||
+			again.Optimal != first.Optimal ||
+			!reflect.DeepEqual(again.Assignment, first.Assignment) {
+			t.Fatalf("run %d diverged:\n got %+v\nwant %+v", run, again, first)
+		}
+	}
+}
+
+// A pure node budget with no wall-clock deadline must still terminate and
+// report non-optimality, and never return worse than the greedy seed.
+func TestMaxExploredCapsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, 80, 4)
+	sol, err := SolveOpts(p, Options{MaxExplored: 1_000})
+	if err != nil {
+		t.Fatalf("SolveOpts: %v", err)
+	}
+	if sol.Optimal {
+		t.Error("80-unit instance should not exhaust within 1000 nodes")
+	}
+	if len(sol.Assignment) != 80 {
+		t.Fatalf("incomplete assignment: %d units", len(sol.Assignment))
+	}
+	if math.Abs(sol.Objective-evaluate(p, sol.Assignment)) > 1e-9 {
+		t.Errorf("objective %v disagrees with evaluation %v", sol.Objective, evaluate(p, sol.Assignment))
 	}
 }
 

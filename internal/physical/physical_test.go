@@ -3,11 +3,13 @@ package physical
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/workload"
 )
 
 // mkProblem builds a problem from combined slice matrices, splitting cells
@@ -239,6 +241,97 @@ func TestTabuImprovesSkewedComparisonLoad(t *testing.T) {
 	if tabu.Model.CompareTime >= mbh.Model.CompareTime {
 		t.Errorf("tabu comparison time %v not below MBH's %v",
 			tabu.Model.CompareTime, mbh.Model.CompareTime)
+	}
+}
+
+// TestTabuParallelMatchesSequential: sharding the neighborhood evaluation
+// must not change the search trajectory — on skewed Zipf workloads large
+// enough to take the parallel path, every Workers setting produces the
+// bit-for-bit identical assignment and model cost.
+func TestTabuParallelMatchesSequential(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1.0, 2.0} {
+		rng := rand.New(rand.NewSource(int64(alpha * 100)))
+		ls := workload.ZipfUnitSizes(1024, alpha, 1<<20, rng)
+		rs := workload.ZipfUnitSizes(1024, alpha, 1<<20, rng)
+		left, right := workload.HashSlices(ls, rs, 8, alpha, rng)
+		pr, err := NewProblem(8, join.Hash, left, right, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := TabuPlanner{Workers: 1}.Plan(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 7} {
+			par, err := TabuPlanner{Workers: w}.Plan(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par.Assignment, seq.Assignment) {
+				t.Errorf("alpha=%v workers=%d: assignment diverged from sequential", alpha, w)
+			}
+			if par.Model.Total != seq.Model.Total {
+				t.Errorf("alpha=%v workers=%d: cost %v != sequential %v",
+					alpha, w, par.Model.Total, seq.Model.Total)
+			}
+		}
+	}
+}
+
+// TestILPPlannersParallelMatchSequential: on instances the solver exhausts,
+// the parallel search returns the same canonical optimum.
+func TestILPPlannersParallelMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pr := randProblem(rng, 10, 3, join.Hash)
+	seq, err := ILPPlanner{Budget: 10 * time.Second, Workers: 1}.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ILPPlanner{Budget: 10 * time.Second, Workers: 4}.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Optimal || !par.Optimal {
+		t.Fatal("instance should be solved optimally at any worker count")
+	}
+	if !reflect.DeepEqual(par.Assignment, seq.Assignment) {
+		t.Errorf("parallel ILP assignment %v != sequential %v", par.Assignment, seq.Assignment)
+	}
+
+	coarse := randProblem(rng, 64, 3, join.Hash)
+	cseq, err := CoarseILPPlanner{Budget: 10 * time.Second, Bins: 8, Workers: 1}.Plan(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpar, err := CoarseILPPlanner{Budget: 10 * time.Second, Bins: 8, Workers: 4}.Plan(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cpar.Assignment, cseq.Assignment) {
+		t.Error("parallel coarse ILP assignment diverged from sequential")
+	}
+}
+
+// TestILPPlannerMaxExploredDeterministic: with a node budget instead of a
+// wall-clock budget, the truncated plan is reproducible run to run.
+func TestILPPlannerMaxExploredDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pr := randProblem(rng, 60, 4, join.Hash)
+	p := ILPPlanner{MaxExplored: 5_000}
+	first, err := p.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Optimal {
+		t.Fatal("60-unit instance should not exhaust within 5000 nodes")
+	}
+	second, err := p.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second.Assignment, first.Assignment) || second.Model.Total != first.Model.Total {
+		t.Errorf("MaxExplored plan not reproducible: %v (%v) vs %v (%v)",
+			first.Assignment, first.Model.Total, second.Assignment, second.Model.Total)
 	}
 }
 

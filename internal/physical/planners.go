@@ -5,6 +5,7 @@ import (
 
 	"shufflejoin/internal/ilp"
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/par"
 )
 
 // BaselinePlanner is the skew-agnostic comparison point of Section 6.2. It
@@ -115,6 +116,14 @@ func argmax(row []int64) int {
 // mean by moving join units to cheaper nodes, never repeating a
 // unit-to-node assignment (the tabu list holds assignments, not whole
 // plans, keeping the search polynomial and loop-free).
+//
+// Moves are selected best-improvement: every candidate (unit, node) move
+// off the overloaded node is costed with an O(k) what-if, and the winner
+// is chosen by the deterministic (cost, unit, node) tie-break. The
+// neighborhood evaluation is sharded over Workers goroutines; because the
+// winning move depends only on the candidate costs — not on evaluation
+// order — the search trajectory, final assignment, and cost are bit-for-bit
+// identical at every Workers setting.
 type TabuPlanner struct {
 	// MaxRounds caps the outer rebalancing loop as a safety net; zero
 	// means no cap beyond the tabu list's natural exhaustion.
@@ -124,6 +133,9 @@ type TabuPlanner struct {
 	// every accepted move strictly reduces the plan cost). Exists for the
 	// tabu-granularity ablation benchmark.
 	DisableTabuList bool
+	// Workers shards the what-if evaluation of the move neighborhood;
+	// <= 1 evaluates sequentially. The result is identical either way.
+	Workers int
 }
 
 // Name implements Planner.
@@ -175,32 +187,84 @@ func (t TabuPlanner) Plan(pr *Problem) (Result, error) {
 	}, nil
 }
 
-// rebalanceNode tries to move each unit assigned to node n to any
-// non-tabu node, keeping every move that improves the plan's total cost
-// (the what-if analysis of Algorithm 2). Costs are evaluated
-// incrementally: each what-if is O(k).
+// tabuMove is one candidate reassignment with its what-if plan cost.
+type tabuMove struct {
+	cost float64
+	unit int
+	node int
+}
+
+// better orders moves by the deterministic (cost, unit, node) tie-break.
+func (m tabuMove) better(o tabuMove) bool {
+	if m.cost != o.cost {
+		return m.cost < o.cost
+	}
+	if m.unit != o.unit {
+		return m.unit < o.unit
+	}
+	return m.node < o.node
+}
+
+// rebalanceNode repeatedly applies the best cost-improving move of a unit
+// off node n to any non-tabu node (the what-if analysis of Algorithm 2)
+// until none improves. Each what-if is an O(k) read-only evaluation, so
+// the candidate neighborhood shards freely across workers; the applied
+// move is the deterministic minimum over all candidates.
 func (t TabuPlanner) rebalanceNode(pr *Problem, a Assignment, n int, tabu []bool, ev *evaluator) bool {
+	workers := t.Workers
 	improved := false
-	for i := 0; i < pr.N; i++ {
-		if a[i] != n {
-			continue
-		}
-		cur := ev.total()
-		for j := 0; j < pr.K; j++ {
-			if j == n || (!t.DisableTabuList && tabu[i*pr.K+j]) {
+	for {
+		var cands []tabuMove
+		for i := 0; i < pr.N; i++ {
+			if a[i] != n {
 				continue
 			}
-			ev.move(i, n, j)
-			if ev.total() < cur {
-				a[i] = j
-				tabu[i*pr.K+j] = true
-				improved = true
-				break // unit moved; continue with the next unit
+			for j := 0; j < pr.K; j++ {
+				if j == n || (!t.DisableTabuList && tabu[i*pr.K+j]) {
+					continue
+				}
+				cands = append(cands, tabuMove{unit: i, node: j})
 			}
-			ev.move(i, j, n) // undo
 		}
+		if len(cands) == 0 {
+			return improved
+		}
+		cur := ev.total()
+		none := tabuMove{cost: cur, unit: -1}
+		// Spawning goroutines only pays off on real neighborhoods.
+		w := workers
+		if w < 1 || len(cands) < 256 {
+			w = 1
+		}
+		winners := make([]tabuMove, w)
+		for i := range winners {
+			winners[i] = none
+		}
+		par.ForChunks(len(cands), len(winners), func(lo, hi, wid int) {
+			best := none
+			for c := lo; c < hi; c++ {
+				cand := cands[c]
+				cand.cost = ev.whatIf(cand.unit, n, cand.node)
+				if cand.cost < cur && cand.better(best) {
+					best = cand
+				}
+			}
+			winners[wid] = best
+		})
+		win := none
+		for _, m := range winners {
+			if m.unit >= 0 && m.better(win) {
+				win = m
+			}
+		}
+		if win.unit < 0 {
+			return improved
+		}
+		ev.move(win.unit, n, win.node)
+		a[win.unit] = win.node
+		tabu[win.unit*pr.K+win.node] = true
+		improved = true
 	}
-	return improved
 }
 
 // evaluator maintains per-node send/receive/comparison accumulators for a
@@ -221,6 +285,41 @@ func newEvaluator(pr *Problem, a Assignment) *evaluator {
 	}
 	pr.accumulate(a, ev.send, ev.recv, ev.comp)
 	return ev
+}
+
+// whatIf returns the Equation-8 plan cost after hypothetically moving
+// unit i from node from to node to, without mutating the evaluator — the
+// read-only form of move+total that concurrent neighborhood evaluation
+// requires. The arithmetic mirrors move/total exactly, so a what-if cost
+// equals the total that applying the move would produce, bit for bit.
+func (ev *evaluator) whatIf(i, from, to int) float64 {
+	pr := ev.pr
+	sendFrom := ev.send[from] + pr.Sizes[i][from]
+	sendTo := ev.send[to] - pr.Sizes[i][to]
+	recvFrom := ev.recv[from] - (pr.UnitTotal[i] - pr.Sizes[i][from])
+	recvTo := ev.recv[to] + (pr.UnitTotal[i] - pr.Sizes[i][to])
+	compFrom := ev.comp[from] - pr.Comp[i]
+	compTo := ev.comp[to] + pr.Comp[i]
+	var move int64
+	var maxComp float64
+	for j := 0; j < pr.K; j++ {
+		s, r, c := ev.send[j], ev.recv[j], ev.comp[j]
+		if j == from {
+			s, r, c = sendFrom, recvFrom, compFrom
+		} else if j == to {
+			s, r, c = sendTo, recvTo, compTo
+		}
+		if s > move {
+			move = s
+		}
+		if r > move {
+			move = r
+		}
+		if c > maxComp {
+			maxComp = c
+		}
+	}
+	return float64(move)*pr.Params.Transfer + maxComp
 }
 
 // move reassigns unit i from node from to node to.
@@ -268,10 +367,15 @@ func (ev *evaluator) nodeCosts() []float64 {
 }
 
 // ILPPlanner seeks the optimal assignment with the branch-and-bound solver
-// under a wall-clock budget, mirroring the paper's use of SCIP with a
-// workload-tuned time limit.
+// under a budget, mirroring the paper's use of SCIP with a workload-tuned
+// time limit. MaxExplored adds a deterministic node budget (plan quality
+// no longer depends on machine speed or load); Budget remains the
+// wall-clock cap. Workers parallelizes the search — any setting returns
+// the same canonical optimum whenever the search completes.
 type ILPPlanner struct {
-	Budget time.Duration
+	Budget      time.Duration
+	MaxExplored int64
+	Workers     int
 }
 
 // Name implements Planner.
@@ -280,16 +384,12 @@ func (ILPPlanner) Name() string { return "ILP" }
 // Plan implements Planner.
 func (p ILPPlanner) Plan(pr *Problem) (Result, error) {
 	start := time.Now()
-	budget := p.Budget
-	if budget <= 0 {
-		budget = 5 * time.Second
-	}
-	sol, err := ilp.Solve(&ilp.Problem{
+	sol, err := ilp.SolveOpts(&ilp.Problem{
 		K:        pr.K,
 		Sizes:    pr.Sizes,
 		Comp:     pr.Comp,
 		Transfer: pr.Params.Transfer,
-	}, budget)
+	}, solverOptions(p.Budget, p.MaxExplored, p.Workers))
 	if err != nil {
 		return Result{}, err
 	}
@@ -303,14 +403,27 @@ func (p ILPPlanner) Plan(pr *Problem) (Result, error) {
 	}, nil
 }
 
+// solverOptions applies the planners' shared budget defaulting: with
+// neither a wall-clock nor a node budget set, fall back to the historical
+// 5-second wall-clock cap.
+func solverOptions(budget time.Duration, maxExplored int64, workers int) ilp.Options {
+	if budget <= 0 && maxExplored <= 0 {
+		budget = 5 * time.Second
+	}
+	return ilp.Options{Budget: budget, MaxExplored: maxExplored, Workers: workers}
+}
+
 // CoarseILPPlanner reduces the decision-variable count before solving:
 // join units sharing a center of gravity are packed together into at most
 // Bins bins (75 in the paper), each bin is assigned as a whole, and the
 // solution expands back to the member units. Faster to solve, potentially
-// poorer plans — the trade explored in Section 5.2.
+// poorer plans — the trade explored in Section 5.2. Budget, MaxExplored,
+// and Workers behave as in ILPPlanner.
 type CoarseILPPlanner struct {
-	Budget time.Duration
-	Bins   int
+	Budget      time.Duration
+	Bins        int
+	MaxExplored int64
+	Workers     int
 }
 
 // Name implements Planner.
@@ -322,10 +435,6 @@ func (p CoarseILPPlanner) Plan(pr *Problem) (Result, error) {
 	bins := p.Bins
 	if bins <= 0 {
 		bins = 75
-	}
-	budget := p.Budget
-	if budget <= 0 {
-		budget = 5 * time.Second
 	}
 
 	groups := packBins(pr, bins)
@@ -344,7 +453,7 @@ func (p CoarseILPPlanner) Plan(pr *Problem) (Result, error) {
 		coarse.Sizes = append(coarse.Sizes, row)
 		coarse.Comp = append(coarse.Comp, comp)
 	}
-	sol, err := ilp.Solve(coarse, budget)
+	sol, err := ilp.SolveOpts(coarse, solverOptions(p.Budget, p.MaxExplored, p.Workers))
 	if err != nil {
 		return Result{}, err
 	}

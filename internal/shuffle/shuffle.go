@@ -20,6 +20,7 @@ import (
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/par"
 )
 
 // UnitKind distinguishes chunk-shaped join units from hash buckets.
@@ -188,12 +189,22 @@ func (ss *SliceSet) Assemble(u, dest int) []join.Tuple {
 	return out
 }
 
-// MapSide runs the slice function over one distributed array: every node
-// maps its local cells to (unit, slice) in parallel with the others —
-// here sequentially but with identical results. Tuples carry the
-// comparison key plus only the attributes the mapper says to carry
-// (vertical partitioning: the join moves only the necessary columns).
+// MapSide runs the slice function over one distributed array
+// sequentially. It is MapSideN with one worker.
 func MapSide(d *cluster.Distributed, k int, spec *UnitSpec, m *SideMapper) (*SliceSet, error) {
+	return MapSideN(d, k, spec, m, 1)
+}
+
+// MapSideN runs the slice function over one distributed array: every node
+// maps its local cells to (unit, slice) independently of the others —
+// exactly what a real cluster does node-locally — so the per-node map runs
+// are spread over a pool of `workers` goroutines (<= 1 means sequential).
+// A node's cells are always processed in chunk-key order by a single
+// worker, and distinct nodes write distinct (unit, node) slice slots, so
+// the resulting SliceSet is identical at every worker count. Tuples carry
+// the comparison key plus only the attributes the mapper says to carry
+// (vertical partitioning: the join moves only the necessary columns).
+func MapSideN(d *cluster.Distributed, k int, spec *UnitSpec, m *SideMapper, workers int) (*SliceSet, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,26 +226,42 @@ func MapSide(d *cluster.Distributed, k int, spec *UnitSpec, m *SideMapper) (*Sli
 		}
 	}
 
+	// Each node's chunks, in the global chunk-key order — the order the
+	// sequential path visits them, preserved per node under parallelism.
+	perNode := make([][]array.ChunkKey, k)
 	for _, key := range d.Array.SortedKeys() {
 		node := d.Placement[key]
-		ch := d.Array.Chunks[key]
-		for row := 0; row < ch.Len(); row++ {
-			coords, attrs := ch.Cell(row)
-			u, err := unitOfCell(spec, m, coords, attrs)
-			if err != nil {
-				return nil, err
-			}
-			t := join.Tuple{
-				Key:    join.KeyOf(m.KeyRefs, coords, attrs),
-				Coords: coords,
-			}
-			if len(carry) > 0 {
-				t.Attrs = make([]array.Value, len(carry))
-				for i, ai := range carry {
-					t.Attrs[i] = attrs[ai]
+		perNode[node] = append(perNode[node], key)
+	}
+
+	errs := make([]error, k)
+	par.ForEach(k, workers, func(node int) {
+		for _, key := range perNode[node] {
+			ch := d.Array.Chunks[key]
+			for row := 0; row < ch.Len(); row++ {
+				coords, attrs := ch.Cell(row)
+				u, err := unitOfCell(spec, m, coords, attrs)
+				if err != nil {
+					errs[node] = err
+					return
 				}
+				t := join.Tuple{
+					Key:    join.KeyOf(m.KeyRefs, coords, attrs),
+					Coords: coords,
+				}
+				if len(carry) > 0 {
+					t.Attrs = make([]array.Value, len(carry))
+					for i, ai := range carry {
+						t.Attrs[i] = attrs[ai]
+					}
+				}
+				ss.cells[u][node] = append(ss.cells[u][node], t)
 			}
-			ss.cells[u][node] = append(ss.cells[u][node], t)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return ss, nil

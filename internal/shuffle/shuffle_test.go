@@ -2,6 +2,7 @@ package shuffle
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -221,6 +222,53 @@ func TestMapSideConservesCells(t *testing.T) {
 		chunkSpec := &UnitSpec{Kind: ChunkUnits, JoinDims: []array.Dimension{{Name: "i", Start: 1, End: 1000, ChunkInterval: int64(rng.Intn(400) + 1)}}}
 		ss2, err := MapSide(d, k, chunkSpec, &SideMapper{KeyRefs: []join.Ref{dimRef}, DimRefs: []join.Ref{dimRef}})
 		return err == nil && ss2.TotalCells() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parallel slice mapper partitions every cell exactly once
+// and builds a SliceSet identical to the sequential mapper's — same tuples
+// in the same (unit, node) slots in the same order — at any worker count
+// and for both unit kinds.
+func TestMapSideNMatchesSequential(t *testing.T) {
+	f := func(seed int64, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(rng.Intn(300) + 20)
+		s := array.MustParseSchema("A<v:int>[i=1,1000,50]")
+		a := array.MustNew(s)
+		for c := int64(0); c < n; c++ {
+			a.MustPut([]int64{rng.Int63n(1000) + 1}, []array.Value{array.IntValue(rng.Int63n(50))})
+		}
+		a.SortAll()
+		k := rng.Intn(6) + 1
+		d := cluster.Distribute(a, k, cluster.RoundRobin)
+		w := int(workers%8) + 1
+		ref := join.Ref{IsDim: false, Index: 0, Name: "v"}
+		dimRef := join.Ref{IsDim: true, Index: 0, Name: "i"}
+		specs := []*UnitSpec{
+			{Kind: HashUnits, NumUnits: rng.Intn(30) + 1},
+			{Kind: ChunkUnits, JoinDims: []array.Dimension{{Name: "i", Start: 1, End: 1000, ChunkInterval: int64(rng.Intn(400) + 1)}}},
+		}
+		mappers := []*SideMapper{
+			{KeyRefs: []join.Ref{ref}, CarryAll: true},
+			{KeyRefs: []join.Ref{dimRef}, DimRefs: []join.Ref{dimRef}},
+		}
+		for i, spec := range specs {
+			seq, err := MapSide(d, k, spec, mappers[i])
+			if err != nil {
+				return false
+			}
+			par, err := MapSideN(d, k, spec, mappers[i], w)
+			if err != nil {
+				return false
+			}
+			if par.TotalCells() != a.CellCount() || !reflect.DeepEqual(seq.cells, par.cells) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

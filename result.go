@@ -37,6 +37,11 @@ type Result struct {
 	Matches int64
 	// CellsMoved is the number of cells shipped during data alignment.
 	CellsMoved int64
+	// ClampedCells counts output cells whose coordinates fell outside the
+	// destination's dimension ranges and were clamped onto the boundary.
+	// Non-zero values signal a lossy store; WithStrictBounds turns them
+	// into errors instead.
+	ClampedCells int64
 
 	// Modeled phase durations in seconds, as in the paper's figures:
 	// planning is real wall time; alignment is the simulated shuffle
@@ -63,6 +68,7 @@ func newResult(rep *exec.Report) *Result {
 		Planner:        rep.Physical.Planner,
 		Matches:        rep.Matches,
 		CellsMoved:     rep.CellsMoved,
+		ClampedCells:   rep.ClampedCells,
 		PlanSeconds:    rep.PlanTime,
 		AlignSeconds:   rep.AlignTime,
 		CompareSeconds: rep.CompareTime,
@@ -87,6 +93,7 @@ func newMultiResult(res *aql.MultiResult) *Result {
 	}
 	for _, step := range res.Steps {
 		r.CellsMoved += step.CellsMoved
+		r.ClampedCells += step.ClampedCells
 		if r.Planner == "" {
 			r.Planner = step.Physical.Planner
 		}

@@ -34,6 +34,7 @@ import (
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/exec"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/simnet"
 	"shufflejoin/internal/storage"
@@ -57,8 +58,7 @@ func Open(nodes int) (*DB, error) {
 		cluster: c,
 		pending: make(map[string]*Array),
 		defaults: queryConfig{
-			planner:  physical.MinBandwidthPlanner{},
-			parallel: true,
+			planner: physical.MinBandwidthPlanner{},
 		},
 	}, nil
 }
@@ -206,11 +206,12 @@ func (db *DB) LoadFile(path string) (*Array, error) {
 
 // queryConfig collects per-query options.
 type queryConfig struct {
-	planner     physical.Planner
-	selectivity float64
-	scheduling  simnet.Scheduling
-	parallel    bool
-	forceAlgo   string
+	planner      physical.Planner
+	selectivity  float64
+	scheduling   simnet.Scheduling
+	parallelism  int // 0 = one worker per CPU, 1 = sequential, n = n workers
+	strictBounds bool
+	forceAlgo    string
 }
 
 // QueryOption customizes one Query call.
@@ -231,6 +232,33 @@ func WithPlanner(name string, budget ...time.Duration) QueryOption {
 		c.planner = p
 		return nil
 	}
+}
+
+// plannerWithWorkers propagates the query's parallelism knob into planners
+// that have a worker-pool knob of their own, unless the caller already set
+// one explicitly on the planner value. The planners treat Workers <= 1 as
+// sequential, so the facade's 0-means-auto convention is resolved to a
+// concrete worker count here.
+func plannerWithWorkers(p physical.Planner, parallelism int) physical.Planner {
+	w := par.Workers(parallelism)
+	switch t := p.(type) {
+	case physical.TabuPlanner:
+		if t.Workers == 0 {
+			t.Workers = w
+		}
+		return t
+	case physical.ILPPlanner:
+		if t.Workers == 0 {
+			t.Workers = w
+		}
+		return t
+	case physical.CoarseILPPlanner:
+		if t.Workers == 0 {
+			t.Workers = w
+		}
+		return t
+	}
+	return p
 }
 
 // PlannerByName resolves a planner name.
@@ -285,11 +313,36 @@ func WithFIFOShuffle() QueryOption {
 	}
 }
 
-// WithSequentialCompare disables per-node goroutine parallelism during
-// cell comparison (output is identical either way).
+// WithParallelism sets the worker count for planning and execution: 0
+// (the default) uses one worker per CPU, 1 runs fully sequentially, and
+// n > 1 uses n workers. Query results, join statistics, and modeled phase
+// times are identical at every setting; only wall-clock changes.
+func WithParallelism(n int) QueryOption {
+	return func(c *queryConfig) error {
+		if n < 0 {
+			return fmt.Errorf("shufflejoin: parallelism must be >= 0, got %d", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
+// WithSequentialCompare disables goroutine parallelism during planning and
+// cell comparison (output is identical either way). Equivalent to
+// WithParallelism(1).
 func WithSequentialCompare() QueryOption {
 	return func(c *queryConfig) error {
-		c.parallel = false
+		c.parallelism = 1
+		return nil
+	}
+}
+
+// WithStrictBounds makes a query fail when an output cell's coordinates
+// fall outside the destination's declared dimension ranges, instead of
+// silently clamping the cell onto the boundary.
+func WithStrictBounds() QueryOption {
+	return func(c *queryConfig) error {
+		c.strictBounds = true
 		return nil
 	}
 }
@@ -309,10 +362,11 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 	db.sealAll()
 
 	eo := exec.Options{
-		Planner:    cfg.planner,
-		Scheduling: cfg.scheduling,
-		Parallel:   cfg.parallel,
-		Logical:    logical.PlanOptions{Selectivity: cfg.selectivity},
+		Planner:      plannerWithWorkers(cfg.planner, cfg.parallelism),
+		Scheduling:   cfg.scheduling,
+		Parallelism:  cfg.parallelism,
+		StrictBounds: cfg.strictBounds,
+		Logical:      logical.PlanOptions{Selectivity: cfg.selectivity},
 	}
 	if cfg.forceAlgo != "" {
 		a, err := algoByName(cfg.forceAlgo)
@@ -425,7 +479,7 @@ type JoinOrderStep struct {
 // results in the database.
 func (db *DB) ExplainJoinOrder(q string) ([]JoinOrderStep, error) {
 	db.sealAll()
-	plan, err := aql.ExplainMulti(db.cluster, q, exec.Options{Parallel: true})
+	plan, err := aql.ExplainMulti(db.cluster, q, exec.Options{})
 	if err != nil {
 		return nil, err
 	}

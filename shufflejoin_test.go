@@ -1,6 +1,7 @@
 package shufflejoin
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -136,6 +137,57 @@ func TestSchedulingAndSequentialOptions(t *testing.T) {
 	}
 	if run(WithFIFOShuffle()) != run(WithSequentialCompare()) {
 		t.Error("options changed query semantics")
+	}
+}
+
+// TestParallelismDeterminism: the facade's one parallelism knob must not
+// change anything the user can observe — output cells, statistics, or
+// modeled phase times — at any setting, for any planner.
+func TestParallelismDeterminism(t *testing.T) {
+	type snapshot struct {
+		Cells   []Cell
+		Matches int64
+		Moved   int64
+		Clamped int64
+		Align   float64
+		Compare float64
+	}
+	run := func(planner string, parallelism int) snapshot {
+		db, _ := Open(4)
+		a, _ := db.CreateArray("A<v:int>[i=1,200,20]")
+		b, _ := db.CreateArray("B<w:int>[j=1,200,20]")
+		for i := int64(1); i <= 200; i++ {
+			_ = a.Insert([]int64{i}, (i*i)%23)
+			_ = b.Insert([]int64{i}, (i*7)%23)
+		}
+		res, err := db.Query(
+			"SELECT i, j INTO T<i:int, j:int>[] FROM A JOIN B ON A.v = B.w",
+			WithPlanner(planner, time.Second),
+			WithParallelism(parallelism),
+		)
+		if err != nil {
+			t.Fatalf("%s parallelism=%d: %v", planner, parallelism, err)
+		}
+		return snapshot{
+			Cells:   res.Cells(),
+			Matches: res.Matches,
+			Moved:   res.CellsMoved,
+			Clamped: res.ClampedCells,
+			Align:   res.AlignSeconds,
+			Compare: res.CompareSeconds,
+		}
+	}
+	for _, planner := range []string{"mbh", "tabu", "ilp"} {
+		ref := run(planner, 1)
+		for _, p := range []int{0, 2, 3} {
+			if got := run(planner, p); !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: parallelism=%d changed the observable result", planner, p)
+			}
+		}
+	}
+	db, _ := Open(2)
+	if _, err := db.Query("x", WithParallelism(-1)); err == nil {
+		t.Error("negative parallelism should error")
 	}
 }
 

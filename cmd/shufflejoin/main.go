@@ -35,6 +35,8 @@ func main() {
 		par     = flag.Int("par", 0, "planning/execution workers: 0 = one per CPU, 1 = sequential (results identical at every setting)")
 		strict  = flag.Bool("strict", false, "fail on output cells outside the destination's dimension ranges instead of clamping")
 		explain = flag.Bool("explain", false, "print the optimizer's candidate plans instead of executing")
+		trace   = flag.String("trace", "", "write the query trace as Chrome trace-event JSON to this file (load in Perfetto) and print the trace summary")
+		metrics = flag.Bool("metrics", false, "print the query's metric registry as JSON")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -79,6 +81,9 @@ func main() {
 	if *strict {
 		opts = append(opts, shufflejoin.WithStrictBounds())
 	}
+	if *trace != "" || *metrics {
+		opts = append(opts, shufflejoin.WithTrace())
+	}
 
 	if *explain {
 		ex, err := db.Explain(query, opts...)
@@ -110,6 +115,28 @@ func main() {
 	fmt.Printf("data align:     %8.3fs (simulated)\n", res.AlignSeconds)
 	fmt.Printf("cell compare:   %8.3fs (simulated)\n", res.CompareSeconds)
 	fmt.Printf("total:          %8.3fs\n", res.TotalSeconds)
+
+	if *trace != "" {
+		fmt.Printf("\n%s", res.TraceSummary())
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.ChromeTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nChrome trace written to %s (open in ui.perfetto.dev)\n", *trace)
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if err := res.MetricsJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 
 	if *sample > 0 {
 		fmt.Printf("\noutput sample (%s):\n", res.OutputSchema)

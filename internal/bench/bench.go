@@ -33,14 +33,15 @@ type Config struct {
 	Seed         int64
 	ILPBudget    time.Duration // solver budget (default 2s; paper used 5 min)
 	// ILPMaxExplored caps the branch-and-bound search by explored nodes
-	// instead of wall-clock alone, making truncated plans machine- and
-	// load-independent; it forces the ILP search sequential (parallel
-	// truncation reintroduces schedule dependence). ILPBudget remains a
-	// secondary safety cap. Zero leaves the planners on wall-clock only.
+	// instead of wall-clock alone. The cap is split into fixed per-task
+	// quotas over the solver's deterministic task decomposition, so
+	// truncated plans are machine-, load-, and Workers-independent.
+	// ILPBudget remains a secondary safety cap. Zero leaves the planners
+	// on wall-clock only.
 	ILPMaxExplored int64
 	// Workers parallelizes planner internals (Tabu neighborhood evaluation
-	// and, when ILPMaxExplored is unset, the ILP search). <= 1 keeps
-	// planning sequential; results are identical either way.
+	// and the ILP task queue). <= 1 keeps planning sequential; results are
+	// identical either way.
 	Workers    int
 	CoarseBins int // default 75, as in Section 6.2
 	Params     physical.CostParams
@@ -75,16 +76,10 @@ var PlannerNames = []string{"B", "ILP", "ILP-C", "MBH", "Tabu"}
 // Planners instantiates the five physical planners of Section 6.2.
 func (c Config) Planners() map[string]physical.Planner {
 	c = c.withDefaults()
-	ilpWorkers := c.Workers
-	if c.ILPMaxExplored > 0 {
-		// A node budget only yields reproducible truncated searches when
-		// the search order is fixed, i.e. sequential.
-		ilpWorkers = 1
-	}
 	return map[string]physical.Planner{
 		"B":     physical.BaselinePlanner{},
-		"ILP":   physical.ILPPlanner{Budget: c.ILPBudget, MaxExplored: c.ILPMaxExplored, Workers: ilpWorkers},
-		"ILP-C": physical.CoarseILPPlanner{Budget: c.ILPBudget, Bins: c.CoarseBins, MaxExplored: c.ILPMaxExplored, Workers: ilpWorkers},
+		"ILP":   physical.ILPPlanner{Budget: c.ILPBudget, MaxExplored: c.ILPMaxExplored, Workers: c.Workers},
+		"ILP-C": physical.CoarseILPPlanner{Budget: c.ILPBudget, Bins: c.CoarseBins, MaxExplored: c.ILPMaxExplored, Workers: c.Workers},
 		"MBH":   physical.MinBandwidthPlanner{},
 		"Tabu":  physical.TabuPlanner{Workers: c.Workers},
 	}

@@ -19,6 +19,7 @@ import (
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
 	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/shuffle"
@@ -66,6 +67,12 @@ type Options struct {
 	// The returned function must be safe for concurrent use unless
 	// Parallelism is 1.
 	ProjectFactory func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error)
+	// Trace, when non-nil, receives hierarchical spans (planning, align,
+	// per-transfer, per-node compare) and skew/congestion metrics for the
+	// run. Spans and metrics are recorded only from sequential orchestration
+	// code, so the capture is bit-for-bit identical at every Parallelism
+	// setting. Nil disables tracing at the cost of a nil check per call.
+	Trace *obs.Trace
 }
 
 // workers resolves the Parallelism knob to an effective worker count.
@@ -135,6 +142,22 @@ type Report struct {
 	JoinStats  join.Stats
 	Matches    int64
 	CellsMoved int64
+
+	// NodeCompareTime is each node's modeled comparison seconds under the
+	// physical plan; CompareTime is its maximum.
+	NodeCompareTime []float64
+	// Skew is the straggler ratio of the comparison phase: the slowest
+	// node's modeled compare time over the mean (1 = perfectly balanced,
+	// 0 when no compare work exists).
+	Skew float64
+	// StragglerNode is the node with the largest modeled compare time
+	// (lowest id on ties), or -1 when no compare work exists.
+	StragglerNode int
+	// LockWaitSeconds is the total simulated time senders spent stalled on
+	// receiver write locks during data alignment — the shuffle-congestion
+	// half of the skew picture.
+	LockWaitSeconds float64
+
 	// ClampedCells counts output cells whose coordinates fell outside the
 	// destination's dimension ranges and were clamped onto the boundary.
 	// Clamped cells can collide with real cells and overwrite them, so a
@@ -233,10 +256,16 @@ func planLogical(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Pred
 		// (histogram-based power-law estimation; see internal/cardinality).
 		lopt.Selectivity = EstimateSelectivity(c, src, sa.Cells, sb.Cells)
 	}
+	sp := opt.Trace.Root().Child("plan.logical")
 	plans, err := logical.Enumerate(js, sa, sb, lopt)
 	if err != nil {
 		return nil, 0, err
 	}
+	sp.SetInt("candidates", int64(len(plans)))
+	sp.SetNum("selectivity", lopt.Selectivity)
+	sp.SetStr("best", plans[0].Describe())
+	sp.End()
+	opt.Trace.Metrics().Counter("plan.candidates").Add(int64(len(plans)))
 	return plans, lopt.Selectivity, nil
 }
 
@@ -271,8 +300,11 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 	rep := &Report{Logical: *lp}
 
 	workers := opt.workers()
+	tr := opt.Trace
+	reg := tr.Metrics()
 
 	// ---- Slice mapping (Section 3.3) ----
+	ms := tr.Root().Child("map.slices")
 	spec, lm, rm := logical.UnitSpecFor(lp)
 	ssl, err := shuffle.MapSideN(dl, c.K, spec, lm, workers)
 	if err != nil {
@@ -282,12 +314,16 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 	if err != nil {
 		return nil, err
 	}
+	ms.SetInt("units", int64(spec.NumUnits))
+	ms.End()
 
 	// ---- Physical planning (Section 5) ----
 	pr, err := physical.NewProblem(c.K, modelAlgo(lp.Algo), ssl.Sizes(), ssr.Sizes(), opt.Params)
 	if err != nil {
 		return nil, err
 	}
+	ps := tr.Root().Child("plan.physical")
+	pr.Span = ps
 	pres, err := opt.Planner.Plan(pr)
 	if err != nil {
 		return nil, err
@@ -295,6 +331,22 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 	rep.Physical = pres
 	rep.PlanTime = pres.PlanTime.Seconds()
 	rep.CellsMoved = pr.CellsMoved(pres.Assignment)
+	ps.SetStr("planner", pres.Planner)
+	ps.SetNum("model_cost", pres.Model.Total)
+	ps.SetInt("cells_moved", rep.CellsMoved)
+	ps.End()
+	if tr.Enabled() {
+		reg.Counter("units.count").Add(int64(pr.N))
+		cellsHist := reg.Histogram("units.cells", obs.PowersOf2Buckets(2, 16))
+		for u := 0; u < pr.N; u++ {
+			cellsHist.Observe(float64(pr.UnitTotal[u]))
+		}
+		reg.Counter("plan.ilp.nodes_explored").Add(pres.Search.ILPNodes)
+		reg.Counter("plan.ilp.nodes_pruned").Add(pres.Search.ILPPruned)
+		reg.Counter("plan.tabu.rounds").Add(int64(pres.Search.TabuRounds))
+		reg.Counter("plan.tabu.moves").Add(int64(pres.Search.TabuMoves))
+		reg.Counter("plan.tabu.whatifs").Add(pres.Search.TabuWhatIfs)
+	}
 
 	// ---- Data alignment (Section 3.4) ----
 	var transfers []simnet.Transfer
@@ -317,6 +369,28 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 	}
 	rep.Align = align
 	rep.AlignTime = align.Makespan
+	rep.LockWaitSeconds = align.LockWaitTime
+	if tr.Enabled() {
+		as := tr.Root().SimChild("align", 0, align.Makespan)
+		as.SetInt("transfers", int64(len(align.Timeline)))
+		as.SetInt("lock_waits", int64(align.LockWaits))
+		as.SetInt("skipped_sends", int64(align.SkippedSends))
+		as.SetNum("lock_wait_seconds", align.LockWaitTime)
+		for _, ev := range align.Timeline {
+			x := as.SimChild("xfer", ev.Start, ev.End)
+			x.SetNum("transfer", 1)
+			x.SetInt("from", int64(ev.From))
+			x.SetInt("to", int64(ev.To))
+			x.SetInt("unit", int64(ev.Tag))
+			x.SetInt("cells", ev.Cells)
+		}
+		reg.Counter("align.transfers").Add(int64(len(align.Timeline)))
+		reg.Counter("align.cells_moved").Add(rep.CellsMoved)
+		reg.Counter("align.lock_waits").Add(int64(align.LockWaits))
+		reg.Counter("align.skipped_sends").Add(int64(align.SkippedSends))
+		reg.Gauge("align.lock_wait_seconds").Add(align.LockWaitTime)
+		reg.Gauge("align.makespan_seconds").Add(align.Makespan)
+	}
 
 	// ---- Cell comparison (Section 3.4) ----
 	outArr, err := newOutputArray(js)
@@ -389,12 +463,14 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 	// Replay per-node results in node order: results[node] slots are
 	// filled independently, so the output below is identical no matter
 	// how the worker pool interleaved the nodes.
+	rep.NodeCompareTime = make([]float64, c.K)
 	for node := 0; node < c.K; node++ {
 		no := &results[node]
 		if no.err != nil {
 			return nil, no.err
 		}
 		rep.JoinStats.Add(no.stats)
+		rep.NodeCompareTime[node] = no.time
 		if no.time > rep.CompareTime {
 			rep.CompareTime = no.time
 		}
@@ -409,11 +485,60 @@ func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, 
 		}
 	}
 	rep.Matches = rep.JoinStats.Matches
+	rep.Skew, rep.StragglerNode = skewOf(rep.NodeCompareTime)
+
+	if tr.Enabled() {
+		cs := tr.Root().SimChild("compare", align.Makespan, align.Makespan+rep.CompareTime)
+		cs.SetNum("skew", rep.Skew)
+		cs.SetInt("straggler_node", int64(rep.StragglerNode))
+		for node := 0; node < c.K; node++ {
+			ns := cs.SimChild("compare.node", align.Makespan, align.Makespan+rep.NodeCompareTime[node])
+			ns.SetNode(node)
+			ns.SetInt("units", int64(len(nodeUnits[node])))
+			ns.SetInt("output_cells", int64(len(results[node].cells)))
+		}
+		reg.Gauge("compare.skew").Set(rep.Skew)
+		reg.Gauge("compare.straggler_node").Set(float64(rep.StragglerNode))
+		reg.Counter("compare.matches").Add(rep.Matches)
+		reg.Counter("compare.clamped_cells").Add(rep.ClampedCells)
+		for node := 0; node < c.K; node++ {
+			pfx := fmt.Sprintf("node%02d.", node)
+			var assigned int64
+			for _, u := range nodeUnits[node] {
+				assigned += pr.UnitTotal[u]
+			}
+			reg.Counter(pfx + "assigned_cells").Add(assigned)
+			reg.Gauge(pfx + "send_seconds").Add(align.SendBusy[node])
+			reg.Gauge(pfx + "recv_seconds").Add(align.RecvBusy[node])
+			reg.Gauge(pfx + "lock_wait_seconds").Add(align.RecvLockWait[node])
+			reg.Gauge(pfx + "compare_seconds").Add(rep.NodeCompareTime[node])
+		}
+		reg.Counter("exec.steps").Add(1)
+	}
+
 	outArr.SortAll()
 	rep.Output = outArr
 	rep.Total = rep.PlanTime + rep.AlignTime + rep.CompareTime
 	rep.WallTime = time.Since(wallStart)
 	return rep, nil
+}
+
+// skewOf returns the straggler ratio (max/mean) of per-node modeled
+// compare times and the argmax node, or (0, -1) when no node has work.
+func skewOf(times []float64) (float64, int) {
+	var sum, max float64
+	straggler := -1
+	for node, t := range times {
+		sum += t
+		if straggler == -1 || t > max {
+			max, straggler = t, node
+		}
+	}
+	if sum == 0 {
+		return 0, -1
+	}
+	mean := sum / float64(len(times))
+	return max / mean, straggler
 }
 
 // modelAlgo maps the plan's algorithm to one the physical cost model

@@ -18,13 +18,22 @@
 // prefers the lexicographically smallest assignment vector (by unit
 // index), and pruning is strict (a subtree is cut only when its lower
 // bound exceeds the incumbent objective), so equal-cost regions are always
-// searched. As a result, whenever the search space is exhausted
-// (Solution.Optimal), the returned assignment is a canonical function of
-// the Problem alone — identical for any Workers setting and across runs.
-// Budget-truncated searches are reproducible with Workers <= 1 and a
-// MaxExplored node budget; wall-clock-truncated or parallel-truncated
-// searches return a valid incumbent but its identity is machine- and
-// schedule-dependent.
+// searched.
+//
+// The search space is split into a fixed set of prefix-assignment tasks
+// whose decomposition depends only on the Problem — never on Workers —
+// and each task is searched in isolation: it prunes against the greedy
+// seed and its own local incumbent, not a shared cross-task bound, so a
+// task's explored node set, node count, and pruned-subtree count are pure
+// functions of the Problem. Workers only decides how many goroutines
+// drain the task queue. Consequently Solution.Nodes and Solution.Pruned
+// are exact and identical at every Workers setting, a MaxExplored node
+// budget (split across tasks as fixed per-task quotas) yields bit-for-bit
+// reproducible truncated searches at any parallelism, and whenever the
+// search exhausts (Solution.Optimal) the returned assignment is the
+// canonical function of the Problem alone. Only wall-clock (Budget)
+// truncation remains machine-dependent: it returns a valid incumbent —
+// never worse than the greedy seed — whose identity depends on timing.
 package ilp
 
 import (
@@ -35,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shufflejoin/internal/obs"
 	"shufflejoin/internal/par"
 )
 
@@ -54,23 +64,25 @@ type Problem struct {
 type Options struct {
 	// Budget is the wall-clock cap. When zero and MaxExplored is also
 	// zero, the budget is treated as already expired (legacy Solve(p, 0)
-	// behaviour): the first depth-first descent still completes, so a
-	// valid incumbent is returned. When zero with MaxExplored set, only
-	// the node budget applies.
+	// behaviour): the deterministic greedy seed is returned as the
+	// incumbent. When zero with MaxExplored set, only the node budget
+	// applies.
 	Budget time.Duration
 	// MaxExplored caps the number of branch-and-bound nodes explored.
-	// Unlike Budget it is machine- and load-independent: with Workers <= 1
-	// the explored node set — and therefore the incumbent — is a pure
-	// function of the Problem, making budget-truncated plans reproducible.
-	// Zero means no node cap. Wall-clock remains a secondary cap when both
-	// are set.
+	// Unlike Budget it is machine- and load-independent: the cap is split
+	// into fixed per-task quotas over the deterministic task decomposition,
+	// so the explored node set — and therefore the incumbent — is a pure
+	// function of the Problem at every Workers setting. Zero means no node
+	// cap. Wall-clock remains a secondary cap when both are set.
 	MaxExplored int64
-	// Workers is the parallelism of the search: the first few branching
-	// levels are expanded into subtree tasks, and Workers goroutines drain
-	// the task queue sharing one atomic incumbent bound. <= 1 searches
-	// sequentially. Any value returns the same canonical optimum when the
-	// search completes.
+	// Workers is the parallelism of the search: the task decomposition is
+	// fixed by the Problem, and Workers goroutines drain the task queue.
+	// <= 1 searches sequentially. Every value explores the same nodes and
+	// returns the same solution (see the package determinism notes).
 	Workers int
+	// Span, when non-nil, receives the solver's observability attributes
+	// (tasks, nodes explored/pruned, seed objective). Nil-safe.
+	Span *obs.Span
 }
 
 // Solution is the solver's answer.
@@ -78,14 +90,26 @@ type Solution struct {
 	Assignment []int   // unit -> node
 	Objective  float64 // modeled cost d + g of the assignment
 	Optimal    bool    // true when the search space was exhausted
-	Nodes      int64   // branch-and-bound nodes explored (informational; varies with Workers > 1)
-	Elapsed    time.Duration
+	// Nodes is the number of branch-and-bound nodes explored. Tasks are
+	// searched in isolation (see the package determinism notes), so unless
+	// the wall-clock Budget truncated the run, Nodes is exact: identical
+	// at every Workers setting and across runs.
+	Nodes int64
+	// Pruned counts subtrees cut by the lower bound; deterministic under
+	// the same conditions as Nodes.
+	Pruned int64
+	// Tasks is the size of the deterministic task decomposition.
+	Tasks int
+	// SeedObjective is the greedy seed's cost — the incumbent every task
+	// starts from, and an upper bound on Objective.
+	SeedObjective float64
+	Elapsed       time.Duration
 }
 
-// ErrNoBudget is returned when the budget expires before any complete
-// assignment has been constructed (it cannot happen with a positive
-// budget, since the first depth-first descent completes immediately, but a
-// zero budget surfaces it).
+// ErrNoBudget is returned when no complete assignment could be
+// constructed. Since the greedy seed always completes before the search
+// starts, it is unreachable today; it remains exported for callers that
+// still check it.
 var ErrNoBudget = errors.New("ilp: budget expired before any solution")
 
 // Validate checks the instance.
@@ -131,17 +155,17 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 	sort.SliceStable(order, func(a, b int) bool { return st.unitTotal[order[a]] > st.unitTotal[order[b]] })
 
 	ctx := &searchCtx{
-		p:           p,
-		st:          st,
-		order:       order,
-		maxExplored: opts.MaxExplored,
+		p:     p,
+		st:    st,
+		order: order,
 	}
 	if opts.Budget > 0 {
 		ctx.deadline = start.Add(opts.Budget)
 	} else if opts.MaxExplored <= 0 {
-		ctx.deadline = start // legacy zero-budget: expired from the outset
+		// Legacy zero-budget: expired from the outset; the greedy seed is
+		// still returned (deterministically) as the incumbent.
+		ctx.timedOut.Store(true)
 	}
-	ctx.bound.Store(math.Float64bits(math.Inf(1)))
 	// Suffix sums over the branching order: remaining per-node resident
 	// cells and remaining unavoidable receives, for O(k) lower bounds.
 	ctx.remCol = make([][]int64, n+1)
@@ -156,18 +180,21 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 		ctx.remRecvMin[d] = ctx.remRecvMin[d+1] + st.unitTotal[i] - st.maxSlice[i]
 	}
 
-	// Seed every worker with the deterministic greedy descent: the search
-	// then spends its budget improving a decent plan instead of proving
-	// lex-minimality of a poor first incumbent, and a budget-expired run
-	// still returns at least the greedy plan.
-	seed, seedObj := greedySeed(ctx)
-	ctx.publish(seedObj)
+	// Seed the search with the deterministic greedy descent: every task
+	// prunes against (at least) this incumbent, and a budget-expired run
+	// still returns the greedy plan.
+	ctx.seed, ctx.seedObj = greedySeed(ctx)
+
+	// The task decomposition and per-task quotas are fixed by the Problem
+	// and MaxExplored — never by Workers — so the explored node set is
+	// identical at every parallelism (see the package determinism notes).
+	tasks := genTasks(ctx)
+	quotas := taskQuotas(opts.MaxExplored, len(tasks))
 
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	tasks := genTasks(ctx, workers)
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
@@ -176,18 +203,15 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 	var nextTask atomic.Int64
 	par.Do(workers, func(wid int) {
 		w := newWorker(ctx)
-		w.best = append([]int(nil), seed...)
-		w.bestObj = seedObj
+		w.best = append([]int(nil), ctx.seed...)
+		w.bestObj = ctx.seedObj
 		results[wid] = w
 		for {
 			ti := int(nextTask.Add(1)) - 1
 			if ti >= len(tasks) {
 				return
 			}
-			if ctx.timedOut.Load() && w.best != nil {
-				return
-			}
-			w.runTask(tasks[ti])
+			w.runTask(tasks[ti], quotas[ti])
 		}
 	})
 
@@ -206,27 +230,47 @@ func SolveOpts(p *Problem, opts Options) (Solution, error) {
 	if best == nil {
 		return Solution{}, ErrNoBudget
 	}
-	return Solution{
-		Assignment: append([]int(nil), best...),
-		Objective:  bestObj,
-		Optimal:    !ctx.timedOut.Load(),
-		Nodes:      ctx.explored.Load(),
-		Elapsed:    time.Since(start),
-	}, nil
+	sol := Solution{
+		Assignment:    append([]int(nil), best...),
+		Objective:     bestObj,
+		Optimal:       !ctx.timedOut.Load() && ctx.truncated.Load() == 0,
+		Nodes:         ctx.explored.Load(),
+		Pruned:        ctx.pruned.Load(),
+		Tasks:         len(tasks),
+		SeedObjective: ctx.seedObj,
+		Elapsed:       time.Since(start),
+	}
+	if sp := opts.Span; sp != nil {
+		sp.SetInt("ilp.tasks", int64(sol.Tasks))
+		sp.SetInt("ilp.nodes_explored", sol.Nodes)
+		sp.SetInt("ilp.nodes_pruned", sol.Pruned)
+		sp.SetNum("ilp.seed_cost", sol.SeedObjective)
+		sp.SetNum("ilp.objective", sol.Objective)
+		sp.SetInt("ilp.optimal", boolInt(sol.Optimal))
+		sp.SetNum("ilp.solve_wall_seconds", sol.Elapsed.Seconds())
+	}
+	return sol, nil
 }
 
-// genTasks expands the first branching levels breadth-first into prefix
-// assignments (over ctx.order), sized so the worker pool has several tasks
-// per worker. With workers == 1 the single empty prefix reproduces the
-// classic sequential descent.
-func genTasks(ctx *searchCtx, workers int) [][]int {
-	tasks := [][]int{nil}
-	if workers <= 1 {
-		return tasks
+func boolInt(b bool) int64 {
+	if b {
+		return 1
 	}
-	target := workers * 8
+	return 0
+}
+
+// taskTarget is the size the task decomposition aims for. It is a
+// constant — not a multiple of Workers — so the decomposition, and with it
+// every deterministic solver statistic, is a pure function of the Problem.
+const taskTarget = 64
+
+// genTasks expands the first branching levels breadth-first into prefix
+// assignments (over ctx.order). Sequential and parallel runs share the
+// same task list; Workers only changes who drains it.
+func genTasks(ctx *searchCtx) [][]int {
+	tasks := [][]int{nil}
 	depth := 0
-	for depth < len(ctx.order) && len(tasks) < target && len(tasks)*ctx.p.K <= 4096 {
+	for depth < len(ctx.order) && len(tasks) < taskTarget && len(tasks)*ctx.p.K <= 4096 {
 		unit := ctx.order[depth]
 		next := make([][]int, 0, len(tasks)*ctx.p.K)
 		for _, t := range tasks {
@@ -241,6 +285,27 @@ func genTasks(ctx *searchCtx, workers int) [][]int {
 		depth++
 	}
 	return tasks
+}
+
+// taskQuotas splits a MaxExplored node budget into fixed per-task quotas
+// (earlier tasks get the remainder). quota < 0 means unlimited.
+func taskQuotas(maxExplored int64, tasks int) []int64 {
+	quotas := make([]int64, tasks)
+	if maxExplored <= 0 {
+		for i := range quotas {
+			quotas[i] = -1
+		}
+		return quotas
+	}
+	base := maxExplored / int64(tasks)
+	rem := maxExplored % int64(tasks)
+	for i := range quotas {
+		quotas[i] = base
+		if int64(i) < rem {
+			quotas[i]++
+		}
+	}
+	return quotas
 }
 
 // greedySeed constructs the initial incumbent: units in branching order,
@@ -322,8 +387,10 @@ func newSearchState(p *Problem) *searchState {
 }
 
 // searchCtx is the state shared by every worker of one SolveOpts run: the
-// read-only instance data plus the atomic incumbent bound, node counter,
-// and expiry flag.
+// read-only instance data, the greedy seed, and the atomic run totals.
+// There is deliberately no shared incumbent bound — tasks prune only
+// against the seed and their own local incumbent, so each task's explored
+// node set is a pure function of the Problem (see the package docs).
 type searchCtx struct {
 	p     *Problem
 	st    *searchState
@@ -333,32 +400,20 @@ type searchCtx struct {
 	remCol     [][]int64
 	remRecvMin []int64
 
-	deadline    time.Time // zero = no wall-clock cap
-	maxExplored int64     // 0 = no node cap
+	deadline time.Time // zero = no wall-clock cap
 
-	bound    atomic.Uint64 // float64 bits of the best published objective
-	explored atomic.Int64
-	timedOut atomic.Bool
-}
+	seed    []int
+	seedObj float64
 
-// boundVal returns the best objective any worker has published (+Inf when
-// none). Objectives are non-negative, so the float bit pattern is
-// order-preserving and a plain uint64 min works.
-func (ctx *searchCtx) boundVal() float64 { return math.Float64frombits(ctx.bound.Load()) }
-
-// publish lowers the shared incumbent bound to obj (monotone CAS min).
-func (ctx *searchCtx) publish(obj float64) {
-	bits := math.Float64bits(obj)
-	for {
-		cur := ctx.bound.Load()
-		if bits >= cur || ctx.bound.CompareAndSwap(cur, bits) {
-			return
-		}
-	}
+	explored  atomic.Int64
+	pruned    atomic.Int64
+	truncated atomic.Int64 // tasks cut short by their node quota
+	timedOut  atomic.Bool  // wall-clock budget expired
 }
 
 // worker is one goroutine's search state: mutable per-node accumulators
-// for the partial assignment plus its local incumbent.
+// for the partial assignment, its cross-task incumbent, and the per-task
+// accumulators reset by runTask.
 type worker struct {
 	ctx        *searchCtx
 	ownSum     []int64   // cells of units assigned to j that already live on j
@@ -368,6 +423,16 @@ type worker struct {
 	best       []int
 	bestObj    float64
 	sinceCheck int
+
+	// Per-task state: the task-local incumbent (seeded from the greedy
+	// seed so pruning and tie-breaks never depend on other tasks), the
+	// node quota, and the task's explored/pruned tallies.
+	taskBest      []int
+	taskBestObj   float64
+	taskQuota     int64
+	taskExplored  int64
+	taskPruned    int64
+	taskTruncated bool
 }
 
 func newWorker(ctx *searchCtx) *worker {
@@ -386,8 +451,10 @@ func newWorker(ctx *searchCtx) *worker {
 }
 
 // runTask replays a prefix assignment (over ctx.order) into fresh
-// accumulators, then searches the subtree below it.
-func (w *worker) runTask(prefix []int) {
+// accumulators, searches the subtree below it in isolation against the
+// given node quota, then folds the task's incumbent and tallies into the
+// worker's cross-task state.
+func (w *worker) runTask(prefix []int, quota int64) {
 	ctx := w.ctx
 	for j := range w.ownSum {
 		w.ownSum[j], w.recv[j], w.comp[j] = 0, 0, 0
@@ -399,7 +466,24 @@ func (w *worker) runTask(prefix []int) {
 		unit := ctx.order[d]
 		w.place(unit, j)
 	}
+	w.taskBest = append(w.taskBest[:0], ctx.seed...)
+	w.taskBestObj = ctx.seedObj
+	w.taskQuota = quota
+	w.taskExplored = 0
+	w.taskPruned = 0
+	w.taskTruncated = false
+
 	w.dfs(len(prefix))
+
+	ctx.explored.Add(w.taskExplored)
+	ctx.pruned.Add(w.taskPruned)
+	if w.taskTruncated {
+		ctx.truncated.Add(1)
+	}
+	if w.taskBestObj < w.bestObj || (w.taskBestObj == w.bestObj && lexLess(w.taskBest, w.best)) {
+		w.best = append(w.best[:0], w.taskBest...)
+		w.bestObj = w.taskBestObj
+	}
 }
 
 func (w *worker) place(unit, j int) {
@@ -418,8 +502,9 @@ func (w *worker) unplace(unit, j int) {
 
 func (w *worker) dfs(depth int) {
 	ctx := w.ctx
-	if n := ctx.explored.Add(1); ctx.maxExplored > 0 && n > ctx.maxExplored {
-		ctx.timedOut.Store(true)
+	w.taskExplored++
+	if w.taskQuota >= 0 && w.taskExplored > w.taskQuota {
+		w.taskTruncated = true
 	}
 	w.sinceCheck++
 	if w.sinceCheck >= 4096 {
@@ -428,27 +513,25 @@ func (w *worker) dfs(depth int) {
 			ctx.timedOut.Store(true)
 		}
 	}
-	if w.best != nil && ctx.timedOut.Load() {
+	if w.taskTruncated || ctx.timedOut.Load() {
 		return
 	}
 
 	if depth == len(ctx.order) {
 		obj := w.objective()
-		if w.best == nil || obj < w.bestObj || (obj == w.bestObj && lexLess(w.assign, w.best)) {
-			w.best = append(w.best[:0], w.assign...)
-			w.bestObj = obj
-			ctx.publish(obj)
+		if obj < w.taskBestObj || (obj == w.taskBestObj && lexLess(w.assign, w.taskBest)) {
+			w.taskBest = append(w.taskBest[:0], w.assign...)
+			w.taskBestObj = obj
 		}
 		return
 	}
 	// Strict pruning (>) keeps equal-objective subtrees alive so the
-	// canonical lex-smallest optimum is always reachable, regardless of
-	// how fast other workers tighten the shared bound.
-	bound := ctx.boundVal()
-	if w.best != nil && w.bestObj < bound {
-		bound = w.bestObj
-	}
-	if !math.IsInf(bound, 1) && w.lowerBound(depth) > bound {
+	// canonical lex-smallest optimum is always reachable. The bound is the
+	// task-local incumbent (at worst the greedy seed) — never a value from
+	// another task — so pruning decisions replay identically at every
+	// Workers setting.
+	if w.lowerBound(depth) > w.taskBestObj {
+		w.taskPruned++
 		return
 	}
 
@@ -460,7 +543,7 @@ func (w *worker) dfs(depth int) {
 		w.place(unit, j)
 		w.dfs(depth + 1)
 		w.unplace(unit, j)
-		if w.best != nil && ctx.timedOut.Load() {
+		if w.taskTruncated || ctx.timedOut.Load() {
 			return
 		}
 	}

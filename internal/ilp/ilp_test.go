@@ -291,6 +291,71 @@ func TestMaxExploredCapsSearch(t *testing.T) {
 	}
 }
 
+// TestSearchStatsExactAcrossWorkers: tasks are searched in isolation, so
+// every deterministic solver statistic — explored and pruned node counts,
+// task count, seed objective, and the incumbent itself — is identical at
+// every Workers setting, both for exhaustive runs and for truncated
+// MaxExplored runs.
+func TestSearchStatsExactAcrossWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n, k int
+		opts Options
+	}{
+		{"exhaustive", 12, 3, Options{Budget: 30 * time.Second}},
+		{"truncated", 100, 5, Options{MaxExplored: 15_000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			p := randomProblem(rng, tc.n, tc.k)
+			opts := tc.opts
+			opts.Workers = 1
+			base, err := SolveOpts(p, opts)
+			if err != nil {
+				t.Fatalf("Workers=1: %v", err)
+			}
+			if base.Tasks < 2 {
+				t.Fatalf("decomposition degenerate: %d tasks", base.Tasks)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				opts.Workers = workers
+				got, err := SolveOpts(p, opts)
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", workers, err)
+				}
+				if got.Nodes != base.Nodes || got.Pruned != base.Pruned ||
+					got.Tasks != base.Tasks || got.SeedObjective != base.SeedObjective ||
+					got.Objective != base.Objective || got.Optimal != base.Optimal ||
+					!reflect.DeepEqual(got.Assignment, base.Assignment) {
+					t.Errorf("Workers=%d diverged:\n got nodes=%d pruned=%d tasks=%d obj=%v optimal=%v\nwant nodes=%d pruned=%d tasks=%d obj=%v optimal=%v",
+						workers, got.Nodes, got.Pruned, got.Tasks, got.Objective, got.Optimal,
+						base.Nodes, base.Pruned, base.Tasks, base.Objective, base.Optimal)
+				}
+			}
+		})
+	}
+}
+
+// A zero-budget, zero-node-cap solve must still return the greedy seed
+// deterministically (legacy anytime behaviour) and report its statistics.
+func TestZeroBudgetReturnsSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := randomProblem(rng, 60, 4)
+	sol, err := SolveOpts(p, Options{})
+	if err != nil {
+		t.Fatalf("SolveOpts: %v", err)
+	}
+	if sol.Optimal {
+		t.Error("expired budget must not claim optimality")
+	}
+	if sol.Objective != sol.SeedObjective {
+		t.Errorf("objective %v != seed objective %v", sol.Objective, sol.SeedObjective)
+	}
+	if math.Abs(sol.Objective-evaluate(p, sol.Assignment)) > 1e-9 {
+		t.Errorf("objective %v disagrees with evaluation %v", sol.Objective, evaluate(p, sol.Assignment))
+	}
+}
+
 func TestValidateRejectsBadInstances(t *testing.T) {
 	bad := []*Problem{
 		{K: 0},

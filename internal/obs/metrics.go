@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is an ordered, concurrency-safe set of named metrics. A nil
+// *Registry is a valid disabled instance: every accessor returns a nil
+// metric whose methods no-op.
+//
+// Snapshot order and export order follow first registration, so a query
+// traced twice produces byte-identical exports.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	m     map[string]*metric
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	kind    metricKind
+	count   int64
+	gauge   float64
+	buckets []float64 // upper bounds, ascending; implicit +Inf last
+	hist    []int64   // len(buckets)+1
+	n       int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*metric)}
+}
+
+func (r *Registry) get(name string, kind metricKind) *metric {
+	if m, ok := r.m[name]; ok {
+		return m
+	}
+	m := &metric{kind: kind, min: math.Inf(1), max: math.Inf(-1)}
+	r.m[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter is a monotone int64 metric.
+type Counter struct {
+	r *Registry
+	m *metric
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Counter{r: r, m: r.get(name, kindCounter)}
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.r.mu.Lock()
+	c.m.count += n
+	c.r.mu.Unlock()
+}
+
+// Gauge is a float64 metric supporting both Set (last value wins) and Add
+// (deterministic accumulation — callers must add in a deterministic order).
+type Gauge struct {
+	r *Registry
+	m *metric
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Gauge{r: r, m: r.get(name, kindGauge)}
+}
+
+// Set overwrites the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.r.mu.Lock()
+	g.m.gauge = v
+	g.r.mu.Unlock()
+}
+
+// Add accumulates into the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.r.mu.Lock()
+	g.m.gauge += v
+	g.r.mu.Unlock()
+}
+
+// Histogram is a fixed-bucket distribution metric. Buckets are upper
+// bounds (ascending); observations above the last bound land in an
+// implicit +Inf bucket. Fixed buckets keep the export deterministic and
+// mergeable.
+type Histogram struct {
+	r *Registry
+	m *metric
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given bucket upper bounds. Bounds are fixed at first registration.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.get(name, kindHistogram)
+	if m.buckets == nil {
+		m.buckets = append([]float64(nil), buckets...)
+		m.hist = make([]int64, len(buckets)+1)
+	}
+	return &Histogram{r: r, m: m}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.r.mu.Lock()
+	m := h.m
+	i := sort.SearchFloat64s(m.buckets, v)
+	m.hist[i]++
+	m.n++
+	m.sum += v
+	if v < m.min {
+		m.min = v
+	}
+	if v > m.max {
+		m.max = v
+	}
+	h.r.mu.Unlock()
+}
+
+// PowersOf2Buckets returns bucket bounds 1, 2^s, 2^2s, ... covering counts
+// up to about 2^(s*n); the standard shape for cells-per-unit style skew
+// histograms.
+func PowersOf2Buckets(step, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Pow(2, float64(step*i))
+	}
+	return out
+}
+
+// Snapshot flattens every metric into name -> value. Counters and gauges
+// map directly; a histogram h contributes h.count, h.sum, h.min, h.max.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.order))
+	for _, name := range r.order {
+		m := r.m[name]
+		switch m.kind {
+		case kindCounter:
+			out[name] = float64(m.count)
+		case kindGauge:
+			out[name] = m.gauge
+		case kindHistogram:
+			out[name+".count"] = float64(m.n)
+			out[name+".sum"] = m.sum
+			if m.n > 0 {
+				out[name+".min"] = m.min
+				out[name+".max"] = m.max
+			}
+		}
+	}
+	return out
+}
+
+// AddFrom accumulates another registry's counters, gauges, and histograms
+// into this one (counters and gauges add; histograms merge bucket-wise
+// when the bucket layouts match). Used for per-DB cumulative metrics.
+func (r *Registry) AddFrom(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	names := append([]string(nil), other.order...)
+	src := make(map[string]metric, len(names))
+	for _, n := range names {
+		src[n] = *other.m[n]
+	}
+	other.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range names {
+		s := src[name]
+		d := r.get(name, s.kind)
+		switch s.kind {
+		case kindCounter:
+			d.count += s.count
+		case kindGauge:
+			d.gauge += s.gauge
+		case kindHistogram:
+			if d.buckets == nil {
+				d.buckets = append([]float64(nil), s.buckets...)
+				d.hist = make([]int64, len(s.buckets)+1)
+			}
+			if len(d.hist) == len(s.hist) {
+				for i, c := range s.hist {
+					d.hist[i] += c
+				}
+				d.n += s.n
+				d.sum += s.sum
+				if s.min < d.min {
+					d.min = s.min
+				}
+				if s.max > d.max {
+					d.max = s.max
+				}
+			}
+		}
+	}
+}
+
+// jsonMetric is the export form of one metric.
+type jsonMetric struct {
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"`
+	Value   float64   `json:"value,omitempty"`
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Min     float64   `json:"min,omitempty"`
+	Max     float64   `json:"max,omitempty"`
+	Buckets []float64 `json:"buckets,omitempty"`
+	Counts  []int64   `json:"counts,omitempty"`
+}
+
+// WriteJSON emits the registry as a JSON array in registration order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	r.mu.Lock()
+	out := make([]jsonMetric, 0, len(r.order))
+	for _, name := range r.order {
+		m := r.m[name]
+		jm := jsonMetric{Name: name}
+		switch m.kind {
+		case kindCounter:
+			jm.Kind = "counter"
+			jm.Value = float64(m.count)
+		case kindGauge:
+			jm.Kind = "gauge"
+			jm.Value = m.gauge
+		case kindHistogram:
+			jm.Kind = "histogram"
+			jm.Count = m.n
+			jm.Sum = m.sum
+			if m.n > 0 {
+				jm.Min, jm.Max = m.min, m.max
+			}
+			jm.Buckets = append([]float64(nil), m.buckets...)
+			jm.Counts = append([]int64(nil), m.hist...)
+		}
+		out = append(out, jm)
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteTable renders the registry as an aligned human-readable table.
+func (r *Registry) WriteTable(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	width := 0
+	for _, name := range r.order {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range r.order {
+		m := r.m[name]
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%-*s %d\n", width, name, m.count)
+		case kindGauge:
+			fmt.Fprintf(w, "%-*s %.6g\n", width, name, m.gauge)
+		case kindHistogram:
+			fmt.Fprintf(w, "%-*s n=%d sum=%.6g", width, name, m.n, m.sum)
+			if m.n > 0 {
+				fmt.Fprintf(w, " min=%.6g max=%.6g", m.min, m.max)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// writeFingerprint appends every metric value exactly; caller holds no
+// lock (Fingerprint holds the trace lock, not the registry's).
+func (r *Registry) writeFingerprint(b *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		m := r.m[name]
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(b, "%s=%d\n", name, m.count)
+		case kindGauge:
+			fmt.Fprintf(b, "%s=%.17g\n", name, m.gauge)
+		case kindHistogram:
+			fmt.Fprintf(b, "%s n=%d sum=%.17g buckets=%v\n", name, m.n, m.sum, m.hist)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	sp := tr.Root().Child("plan")
+	sp.SetNum("cost", 1)
+	sp.SetStr("planner", "mbh")
+	sp.SetInt("units", 4)
+	sp.SetNode(2)
+	sp.SimChild("align", 0, 1).End()
+	sp.End()
+	if got := tr.Fingerprint(); got != "" {
+		t.Fatalf("nil fingerprint = %q", got)
+	}
+	reg := tr.Metrics()
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(2)
+	reg.Histogram("h", []float64{1, 2}).Observe(1.5)
+	if snap := reg.Snapshot(); snap != nil {
+		t.Fatalf("nil snapshot = %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil chrome output %q", buf.String())
+	}
+}
+
+func TestFingerprintMasksWallTime(t *testing.T) {
+	build := func() string {
+		tr := New("query")
+		p := tr.Root().Child("plan")
+		p.SetNum("plan_wall_seconds", tr.since()) // differs run to run
+		p.SetNum("cost", 42)
+		p.End()
+		a := tr.Root().SimChild("align", 0, 1.5)
+		a.SetNode(1)
+		tr.Metrics().Counter("align.transfers").Add(3)
+		tr.Metrics().Gauge("skew").Set(1.25)
+		return tr.Fingerprint()
+	}
+	f1, f2 := build(), build()
+	if f1 != f2 {
+		t.Fatalf("fingerprints differ:\n%s\nvs\n%s", f1, f2)
+	}
+	if !strings.Contains(f1, "plan_wall_seconds=[masked]") {
+		t.Fatalf("wall attr not masked:\n%s", f1)
+	}
+	if !strings.Contains(f1, "sim=[0,1.5]") {
+		t.Fatalf("sim times missing:\n%s", f1)
+	}
+	if !strings.Contains(f1, "align.transfers=3") || !strings.Contains(f1, "skew=1.25") {
+		t.Fatalf("metrics missing:\n%s", f1)
+	}
+}
+
+func TestRegistrySnapshotAndMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries").Add(2)
+	r.Gauge("seconds").Add(1.5)
+	h := r.Histogram("cells", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	snap := r.Snapshot()
+	if snap["queries"] != 2 || snap["seconds"] != 1.5 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	if snap["cells.count"] != 3 || snap["cells.sum"] != 5055 || snap["cells.min"] != 5 || snap["cells.max"] != 5000 {
+		t.Fatalf("histogram snapshot %v", snap)
+	}
+
+	total := NewRegistry()
+	total.AddFrom(r)
+	total.AddFrom(r)
+	snap = total.Snapshot()
+	if snap["queries"] != 4 || snap["seconds"] != 3 || snap["cells.count"] != 6 {
+		t.Fatalf("merged snapshot %v", snap)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 1, 3, 20} {
+		h.Observe(v)
+	}
+	m := r.m["x"]
+	want := []int64{2, 1, 0, 1} // <=1: {0.5, 1}; <=4: {3}; <=16: {}; +Inf: {20}
+	for i, c := range want {
+		if m.hist[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (hist %v)", i, m.hist[i], c, m.hist)
+		}
+	}
+}
+
+func TestWriteTableAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("align.lock_waits").Add(7)
+	r.Gauge("compare.skew").Set(2.5)
+	var tbl bytes.Buffer
+	r.WriteTable(&tbl)
+	if !strings.Contains(tbl.String(), "align.lock_waits 7") {
+		t.Fatalf("table output:\n%s", tbl.String())
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(js.String(), `"kind": "gauge"`) {
+		t.Fatalf("json output:\n%s", js.String())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/obs"
 )
 
 // CostParams are the empirically derived per-cell cost parameters of
@@ -57,6 +58,10 @@ type Problem struct {
 	LeftTotal  []int64   // per-unit left-side cells (hash join build/probe split)
 	RightTotal []int64
 	Comp       []float64 // C_i
+
+	// Span, when non-nil, receives per-planner observability attributes
+	// (search counters, seed cost). All planners tolerate nil.
+	Span *obs.Span
 }
 
 // NewProblem derives the per-unit aggregates and algorithm-specific unit
@@ -199,6 +204,20 @@ func (pr *Problem) CellsMoved(a Assignment) int64 {
 	return moved
 }
 
+// SearchStats are planner-internal search counters, deterministic at every
+// Workers setting (see the ilp package and TabuPlanner determinism notes).
+// Fields irrelevant to a planner stay zero.
+type SearchStats struct {
+	ILPNodes  int64   // branch-and-bound nodes explored
+	ILPPruned int64   // subtrees cut by the lower bound
+	ILPTasks  int     // size of the deterministic task decomposition
+	SeedCost  float64 // greedy seed objective the search started from
+
+	TabuRounds  int   // outer rebalancing rounds
+	TabuMoves   int   // accepted unit moves
+	TabuWhatIfs int64 // candidate moves costed
+}
+
 // Result is a planner's output: the assignment, its modeled cost, and
 // planning metadata.
 type Result struct {
@@ -206,7 +225,8 @@ type Result struct {
 	Assignment Assignment
 	Model      Breakdown
 	PlanTime   time.Duration
-	Optimal    bool // ILP solvers: search space exhausted within budget
+	Optimal    bool        // ILP solvers: search space exhausted within budget
+	Search     SearchStats // deterministic search counters
 }
 
 // Planner produces a join-unit-to-node assignment for a problem.

@@ -153,10 +153,10 @@ func (t TabuPlanner) Plan(pr *Problem) (Result, error) {
 	}
 
 	ev := newEvaluator(pr, a)
-	rounds := 0
+	var stats SearchStats
 	for {
-		rounds++
-		if t.MaxRounds > 0 && rounds > t.MaxRounds {
+		stats.TabuRounds++
+		if t.MaxRounds > 0 && stats.TabuRounds > t.MaxRounds {
 			break
 		}
 		changed := false
@@ -170,7 +170,7 @@ func (t TabuPlanner) Plan(pr *Problem) (Result, error) {
 			if costs[n] <= mean {
 				continue
 			}
-			if t.rebalanceNode(pr, a, n, tabu, ev) {
+			if t.rebalanceNode(pr, a, n, tabu, ev, &stats) {
 				changed = true
 				costs = ev.nodeCosts()
 			}
@@ -179,12 +179,19 @@ func (t TabuPlanner) Plan(pr *Problem) (Result, error) {
 			break
 		}
 	}
-	return Result{
+	res := Result{
 		Planner:    t.Name(),
 		Assignment: a,
 		Model:      pr.Evaluate(a),
 		PlanTime:   time.Since(start),
-	}, nil
+		Search:     stats,
+	}
+	if sp := pr.Span; sp != nil {
+		sp.SetInt("tabu.rounds", int64(stats.TabuRounds))
+		sp.SetInt("tabu.moves", int64(stats.TabuMoves))
+		sp.SetInt("tabu.whatifs", stats.TabuWhatIfs)
+	}
+	return res, nil
 }
 
 // tabuMove is one candidate reassignment with its what-if plan cost.
@@ -210,7 +217,7 @@ func (m tabuMove) better(o tabuMove) bool {
 // until none improves. Each what-if is an O(k) read-only evaluation, so
 // the candidate neighborhood shards freely across workers; the applied
 // move is the deterministic minimum over all candidates.
-func (t TabuPlanner) rebalanceNode(pr *Problem, a Assignment, n int, tabu []bool, ev *evaluator) bool {
+func (t TabuPlanner) rebalanceNode(pr *Problem, a Assignment, n int, tabu []bool, ev *evaluator, stats *SearchStats) bool {
 	workers := t.Workers
 	improved := false
 	for {
@@ -229,6 +236,7 @@ func (t TabuPlanner) rebalanceNode(pr *Problem, a Assignment, n int, tabu []bool
 		if len(cands) == 0 {
 			return improved
 		}
+		stats.TabuWhatIfs += int64(len(cands))
 		cur := ev.total()
 		none := tabuMove{cost: cur, unit: -1}
 		// Spawning goroutines only pays off on real neighborhoods.
@@ -263,6 +271,7 @@ func (t TabuPlanner) rebalanceNode(pr *Problem, a Assignment, n int, tabu []bool
 		ev.move(win.unit, n, win.node)
 		a[win.unit] = win.node
 		tabu[win.unit*pr.K+win.node] = true
+		stats.TabuMoves++
 		improved = true
 	}
 }
@@ -389,7 +398,7 @@ func (p ILPPlanner) Plan(pr *Problem) (Result, error) {
 		Sizes:    pr.Sizes,
 		Comp:     pr.Comp,
 		Transfer: pr.Params.Transfer,
-	}, solverOptions(p.Budget, p.MaxExplored, p.Workers))
+	}, solverOptions(pr, p.Budget, p.MaxExplored, p.Workers))
 	if err != nil {
 		return Result{}, err
 	}
@@ -400,17 +409,28 @@ func (p ILPPlanner) Plan(pr *Problem) (Result, error) {
 		Model:      pr.Evaluate(a),
 		PlanTime:   time.Since(start),
 		Optimal:    sol.Optimal,
+		Search:     ilpStats(sol),
 	}, nil
 }
 
 // solverOptions applies the planners' shared budget defaulting: with
 // neither a wall-clock nor a node budget set, fall back to the historical
 // 5-second wall-clock cap.
-func solverOptions(budget time.Duration, maxExplored int64, workers int) ilp.Options {
+func solverOptions(pr *Problem, budget time.Duration, maxExplored int64, workers int) ilp.Options {
 	if budget <= 0 && maxExplored <= 0 {
 		budget = 5 * time.Second
 	}
-	return ilp.Options{Budget: budget, MaxExplored: maxExplored, Workers: workers}
+	return ilp.Options{Budget: budget, MaxExplored: maxExplored, Workers: workers, Span: pr.Span}
+}
+
+// ilpStats maps the solver's deterministic counters into SearchStats.
+func ilpStats(sol ilp.Solution) SearchStats {
+	return SearchStats{
+		ILPNodes:  sol.Nodes,
+		ILPPruned: sol.Pruned,
+		ILPTasks:  sol.Tasks,
+		SeedCost:  sol.SeedObjective,
+	}
 }
 
 // CoarseILPPlanner reduces the decision-variable count before solving:
@@ -453,7 +473,7 @@ func (p CoarseILPPlanner) Plan(pr *Problem) (Result, error) {
 		coarse.Sizes = append(coarse.Sizes, row)
 		coarse.Comp = append(coarse.Comp, comp)
 	}
-	sol, err := ilp.SolveOpts(coarse, solverOptions(p.Budget, p.MaxExplored, p.Workers))
+	sol, err := ilp.SolveOpts(coarse, solverOptions(pr, p.Budget, p.MaxExplored, p.Workers))
 	if err != nil {
 		return Result{}, err
 	}
@@ -469,6 +489,7 @@ func (p CoarseILPPlanner) Plan(pr *Problem) (Result, error) {
 		Model:      pr.Evaluate(a),
 		PlanTime:   time.Since(start),
 		Optimal:    sol.Optimal,
+		Search:     ilpStats(sol),
 	}, nil
 }
 

@@ -66,6 +66,13 @@ type Result struct {
 	CellsRecv    []int64   // per-node cells received
 	LockWaits    int       // times a sender had to poll with all locks held
 	SkippedSends int       // times a sender skipped past a locked destination
+	// RecvLockWait[j] is the simulated time senders spent stalled waiting
+	// for node j's write lock (the gap between a sender becoming free and
+	// its polled transfer starting, attributed to the destination). A
+	// congestion diagnostic: a hot receiver shows up here before it shows
+	// up in the makespan.
+	RecvLockWait []float64
+	LockWaitTime float64 // Σ_j RecvLockWait[j]
 	Timeline     []Event
 }
 
@@ -100,10 +107,11 @@ func Simulate(cfg Config, transfers []Transfer) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{
-		SendBusy:  make([]float64, cfg.Nodes),
-		RecvBusy:  make([]float64, cfg.Nodes),
-		CellsSent: make([]int64, cfg.Nodes),
-		CellsRecv: make([]int64, cfg.Nodes),
+		SendBusy:     make([]float64, cfg.Nodes),
+		RecvBusy:     make([]float64, cfg.Nodes),
+		CellsSent:    make([]int64, cfg.Nodes),
+		CellsRecv:    make([]int64, cfg.Nodes),
+		RecvLockWait: make([]float64, cfg.Nodes),
 	}
 
 	// Build per-sender queues preserving input order. seq records each
@@ -142,6 +150,10 @@ func Simulate(cfg Config, transfers []Transfer) (Result, error) {
 		tr := queues[bestSender][bestIdx].Transfer
 		if bestPolled {
 			res.LockWaits++
+			if wait := bestStart - senderFree[bestSender]; wait > 0 {
+				res.RecvLockWait[tr.To] += wait
+				res.LockWaitTime += wait
+			}
 		}
 		if bestIdx > 0 {
 			res.SkippedSends++

@@ -120,6 +120,41 @@ func TestPollWhenAllLocked(t *testing.T) {
 	if res.LockWaits == 0 {
 		t.Error("expected a lock wait (poll)")
 	}
+	// Sender 0 is free at t=0 but node 2's lock releases at t=50: 50s of
+	// wait attributed to receiver 2, none elsewhere.
+	if res.RecvLockWait[2] != 50 {
+		t.Errorf("RecvLockWait[2] = %v, want 50", res.RecvLockWait[2])
+	}
+	if res.RecvLockWait[0] != 0 || res.RecvLockWait[1] != 0 {
+		t.Errorf("wait misattributed: %v", res.RecvLockWait)
+	}
+	if res.LockWaitTime != 50 {
+		t.Errorf("LockWaitTime = %v, want 50", res.LockWaitTime)
+	}
+}
+
+// Property: LockWaitTime is always the sum of the per-receiver waits, and
+// zero whenever no poll occurred.
+func TestLockWaitAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var trs []Transfer
+	for i := 0; i < 150; i++ {
+		trs = append(trs, Transfer{From: rng.Intn(4), To: rng.Intn(4), Cells: rng.Int63n(80) + 1, Tag: i})
+	}
+	res := mustSim(t, Config{Nodes: 4, PerCellTime: 0.01}, trs)
+	var sum float64
+	for _, w := range res.RecvLockWait {
+		if w < 0 {
+			t.Fatalf("negative lock wait: %v", res.RecvLockWait)
+		}
+		sum += w
+	}
+	if math.Abs(sum-res.LockWaitTime) > 1e-12 {
+		t.Errorf("LockWaitTime %v != Σ RecvLockWait %v", res.LockWaitTime, sum)
+	}
+	if res.LockWaits == 0 && res.LockWaitTime != 0 {
+		t.Error("wait time recorded without any poll")
+	}
 }
 
 func TestValidateRejectsBadInput(t *testing.T) {

@@ -2,12 +2,14 @@ package shufflejoin
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"shufflejoin/internal/aql"
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/obs"
 )
 
 // algoByName maps user-facing algorithm names.
@@ -51,6 +53,18 @@ type Result struct {
 	CompareSeconds float64
 	TotalSeconds   float64
 
+	// Skew is the comparison phase's straggler ratio: the slowest node's
+	// modeled compare time over the mean (1 = perfectly balanced, 0 when
+	// no compare work exists). Multi-way queries report the ratio over
+	// per-node times summed across steps.
+	Skew float64
+	// StragglerNode is the node with the largest modeled compare time
+	// (lowest id on ties), or -1 when no compare work exists.
+	StragglerNode int
+	// LockWaitSeconds is the total simulated time senders spent stalled on
+	// receiver write locks during data alignment — shuffle congestion.
+	LockWaitSeconds float64
+
 	// OutputSchema is the destination schema literal.
 	OutputSchema string
 
@@ -58,23 +72,38 @@ type Result struct {
 	// (empty for two-way joins).
 	JoinOrder []string
 
+	// Per-node diagnostics backing TraceSummary (node order; summed across
+	// steps for multi-way queries).
+	nodeCompare  []float64
+	nodeSend     []float64
+	nodeRecv     []float64
+	nodeLockWait []float64
+
+	trace  *obs.Trace
 	output *array.Array
 }
 
 func newResult(rep *exec.Report) *Result {
 	return &Result{
-		Plan:           rep.Logical.Describe(),
-		Algorithm:      rep.Logical.Algo.String(),
-		Planner:        rep.Physical.Planner,
-		Matches:        rep.Matches,
-		CellsMoved:     rep.CellsMoved,
-		ClampedCells:   rep.ClampedCells,
-		PlanSeconds:    rep.PlanTime,
-		AlignSeconds:   rep.AlignTime,
-		CompareSeconds: rep.CompareTime,
-		TotalSeconds:   rep.Total,
-		OutputSchema:   rep.Output.Schema.String(),
-		output:         rep.Output,
+		Plan:            rep.Logical.Describe(),
+		Algorithm:       rep.Logical.Algo.String(),
+		Planner:         rep.Physical.Planner,
+		Matches:         rep.Matches,
+		CellsMoved:      rep.CellsMoved,
+		ClampedCells:    rep.ClampedCells,
+		PlanSeconds:     rep.PlanTime,
+		AlignSeconds:    rep.AlignTime,
+		CompareSeconds:  rep.CompareTime,
+		TotalSeconds:    rep.Total,
+		Skew:            rep.Skew,
+		StragglerNode:   rep.StragglerNode,
+		LockWaitSeconds: rep.LockWaitSeconds,
+		OutputSchema:    rep.Output.Schema.String(),
+		nodeCompare:     rep.NodeCompareTime,
+		nodeSend:        rep.Align.SendBusy,
+		nodeRecv:        rep.Align.RecvBusy,
+		nodeLockWait:    rep.Align.RecvLockWait,
+		output:          rep.Output,
 	}
 }
 
@@ -87,6 +116,7 @@ func newMultiResult(res *aql.MultiResult) *Result {
 		AlignSeconds:   res.AlignSeconds,
 		CompareSeconds: res.CompareSeconds,
 		TotalSeconds:   res.TotalSeconds,
+		StragglerNode:  -1,
 		OutputSchema:   res.Output.Schema.String(),
 		JoinOrder:      res.Order,
 		output:         res.Output,
@@ -94,11 +124,43 @@ func newMultiResult(res *aql.MultiResult) *Result {
 	for _, step := range res.Steps {
 		r.CellsMoved += step.CellsMoved
 		r.ClampedCells += step.ClampedCells
+		r.LockWaitSeconds += step.LockWaitSeconds
 		if r.Planner == "" {
 			r.Planner = step.Physical.Planner
 		}
+		if r.nodeCompare == nil {
+			k := len(step.NodeCompareTime)
+			r.nodeCompare = make([]float64, k)
+			r.nodeSend = make([]float64, k)
+			r.nodeRecv = make([]float64, k)
+			r.nodeLockWait = make([]float64, k)
+		}
+		for n := range step.NodeCompareTime {
+			r.nodeCompare[n] += step.NodeCompareTime[n]
+			r.nodeSend[n] += step.Align.SendBusy[n]
+			r.nodeRecv[n] += step.Align.RecvBusy[n]
+			r.nodeLockWait[n] += step.Align.RecvLockWait[n]
+		}
 	}
+	r.Skew, r.StragglerNode = skewOf(r.nodeCompare)
 	return r
+}
+
+// skewOf returns the straggler ratio (max/mean) of per-node compare times
+// and the argmax node, or (0, -1) when no node has work.
+func skewOf(times []float64) (float64, int) {
+	var sum, max float64
+	straggler := -1
+	for node, t := range times {
+		sum += t
+		if straggler == -1 || t > max {
+			max, straggler = t, node
+		}
+	}
+	if sum == 0 {
+		return 0, -1
+	}
+	return max / (sum / float64(len(times))), straggler
 }
 
 // Cell is one output cell: coordinates and attribute values (int64,
@@ -145,8 +207,73 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "%d matches via %s [%s planner]", r.Matches, r.Plan, r.Planner)
 	fmt.Fprintf(&b, " plan=%.3fs align=%.3fs compare=%.3fs total=%.3fs moved=%d cells",
 		r.PlanSeconds, r.AlignSeconds, r.CompareSeconds, r.TotalSeconds, r.CellsMoved)
+	if r.ClampedCells > 0 {
+		fmt.Fprintf(&b, " clamped=%d cells", r.ClampedCells)
+	}
 	return b.String()
 }
+
+// TraceSummary renders the query's phase breakdown and skew/congestion
+// diagnostics as a human-readable table: per-phase modeled times, the
+// comparison-skew straggler, and per-node link activity including receiver
+// lock-wait. When the query ran with WithTrace, the metric registry is
+// appended. Works on untraced results too (from the always-on diagnostics).
+func (r *Result) TraceSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s [%s planner, %s join]\n", r.Plan, r.Planner, r.Algorithm)
+	fmt.Fprintf(&b, "matches=%d moved=%d clamped=%d\n\n", r.Matches, r.CellsMoved, r.ClampedCells)
+	fmt.Fprintf(&b, "%-14s %12s\n", "phase", "modeled_s")
+	fmt.Fprintf(&b, "%-14s %12.4f\n", "plan", r.PlanSeconds)
+	fmt.Fprintf(&b, "%-14s %12.4f\n", "align", r.AlignSeconds)
+	fmt.Fprintf(&b, "%-14s %12.4f\n", "compare", r.CompareSeconds)
+	fmt.Fprintf(&b, "%-14s %12.4f\n\n", "total", r.TotalSeconds)
+	if r.StragglerNode >= 0 {
+		fmt.Fprintf(&b, "compare skew %.3f (straggler: node %d)\n", r.Skew, r.StragglerNode)
+	} else {
+		fmt.Fprintf(&b, "compare skew n/a (no compare work)\n")
+	}
+	fmt.Fprintf(&b, "lock wait    %.4fs total across receiver links\n", r.LockWaitSeconds)
+	if len(r.nodeCompare) > 0 {
+		fmt.Fprintf(&b, "\n%-6s %12s %12s %12s %14s\n", "node", "compare_s", "send_s", "recv_s", "lock_wait_s")
+		for n := range r.nodeCompare {
+			marker := ""
+			if n == r.StragglerNode {
+				marker = "  <- straggler"
+			}
+			fmt.Fprintf(&b, "%-6d %12.4f %12.4f %12.4f %14.4f%s\n",
+				n, r.nodeCompare[n], r.nodeSend[n], r.nodeRecv[n], r.nodeLockWait[n], marker)
+		}
+	}
+	if r.trace != nil {
+		fmt.Fprintf(&b, "\nmetrics\n")
+		r.trace.Metrics().WriteTable(&b)
+	}
+	return b.String()
+}
+
+// ChromeTrace writes the query's trace in Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing: one process per
+// simulated node, transfers drawn as flow arrows between sender and
+// receiver threads. The query must have run with WithTrace.
+func (r *Result) ChromeTrace(w io.Writer) error {
+	if r.trace == nil {
+		return fmt.Errorf("shufflejoin: query ran without tracing; pass WithTrace()")
+	}
+	return r.trace.WriteChrome(w)
+}
+
+// MetricsJSON writes the query's metric registry as a JSON array in
+// registration order. The query must have run with WithTrace.
+func (r *Result) MetricsJSON(w io.Writer) error {
+	if r.trace == nil {
+		return fmt.Errorf("shufflejoin: query ran without tracing; pass WithTrace()")
+	}
+	return r.trace.Metrics().WriteJSON(w)
+}
+
+// traceFingerprint canonicalizes the span tree and metrics with wall-clock
+// quantities masked; used by determinism tests.
+func (r *Result) traceFingerprint() string { return r.trace.Fingerprint() }
 
 // PlanInfo is one candidate logical plan in an Explain result.
 type PlanInfo struct {

@@ -34,6 +34,7 @@ import (
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/exec"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
 	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/simnet"
@@ -46,6 +47,7 @@ type DB struct {
 	cluster  *cluster.Cluster
 	pending  map[string]*Array
 	defaults queryConfig
+	metrics  *obs.Registry
 }
 
 // Open creates a database spread over the given number of nodes.
@@ -60,7 +62,27 @@ func Open(nodes int) (*DB, error) {
 		defaults: queryConfig{
 			planner: physical.MinBandwidthPlanner{},
 		},
+		metrics: obs.NewRegistry(),
 	}, nil
+}
+
+// MetricsSnapshot returns the database's cumulative query metrics as an
+// expvar-style flat map (counters and gauges by name; histograms as
+// name.count/.sum/.min/.max). query.count, query.matches,
+// query.cells_moved, and query.total_seconds accumulate for every query;
+// queries run with WithTrace additionally fold their full per-query
+// registry (alignment, skew, and per-node diagnostics) into the totals.
+func (db *DB) MetricsSnapshot() map[string]float64 { return db.metrics.Snapshot() }
+
+// recordQuery folds one finished query into the DB's cumulative metrics.
+func (db *DB) recordQuery(r *Result) {
+	db.metrics.Counter("query.count").Add(1)
+	db.metrics.Counter("query.matches").Add(r.Matches)
+	db.metrics.Counter("query.cells_moved").Add(r.CellsMoved)
+	db.metrics.Gauge("query.total_seconds").Add(r.TotalSeconds)
+	if r.trace != nil {
+		db.metrics.AddFrom(r.trace.Metrics())
+	}
 }
 
 // Nodes returns the cluster size.
@@ -212,6 +234,7 @@ type queryConfig struct {
 	parallelism  int // 0 = one worker per CPU, 1 = sequential, n = n workers
 	strictBounds bool
 	forceAlgo    string
+	trace        *obs.Trace
 }
 
 // QueryOption customizes one Query call.
@@ -347,6 +370,19 @@ func WithStrictBounds() QueryOption {
 	}
 }
 
+// WithTrace enables tracing and metrics capture for the query: the Result
+// then supports TraceSummary (human-readable skew/congestion breakdown),
+// ChromeTrace (Perfetto-loadable trace-event JSON), and MetricsJSON, and
+// the query's metrics fold into DB.MetricsSnapshot. The captured span tree
+// and metric values are bit-for-bit identical at every Parallelism setting
+// (wall-clock durations are recorded but excluded from that guarantee).
+func WithTrace() QueryOption {
+	return func(c *queryConfig) error {
+		c.trace = obs.New("query")
+		return nil
+	}
+}
+
 // Query plans and executes an AQL join query, e.g.
 //
 //	SELECT A.v, B.w INTO T<v:int, w:int>[] FROM A JOIN B ON A.v = B.w
@@ -367,6 +403,7 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 		Parallelism:  cfg.parallelism,
 		StrictBounds: cfg.strictBounds,
 		Logical:      logical.PlanOptions{Selectivity: cfg.selectivity},
+		Trace:        cfg.trace,
 	}
 	if cfg.forceAlgo != "" {
 		a, err := algoByName(cfg.forceAlgo)
@@ -379,6 +416,7 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var res *Result
 	if len(parsed.From) > 2 {
 		// Multi-way join: greedy join ordering (the paper's Section 8
 		// future work, implemented in internal/aql).
@@ -386,13 +424,17 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newMultiResult(mres), nil
+		res = newMultiResult(mres)
+	} else {
+		rep, err := aql.Run(db.cluster, q, eo)
+		if err != nil {
+			return nil, err
+		}
+		res = newResult(rep)
 	}
-	rep, err := aql.Run(db.cluster, q, eo)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(rep), nil
+	res.trace = cfg.trace
+	db.recordQuery(res)
+	return res, nil
 }
 
 // Explain enumerates the optimizer's candidate logical plans for a

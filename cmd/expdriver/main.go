@@ -5,10 +5,16 @@
 //
 //	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10]
 //	          [-scale small|full] [-seed N] [-budget DUR]
+//	          [-trace FILE] [-metrics]
 //
 // "full" scale uses the paper's decision-space parameters (1024 join
 // units, 4-node default cluster, 2–12 node scale-out) with cell counts
 // scaled to run on one machine; "small" runs everything in a few seconds.
+//
+// -trace writes every pipeline query the selected experiments execute
+// (fig5/fig6, fig9, adversarial) into one Chrome trace-event JSON file,
+// loadable in Perfetto; -metrics prints the accumulated metric registry
+// as JSON. Both match the cmd/shufflejoin flags of the same names.
 package main
 
 import (
@@ -18,23 +24,31 @@ import (
 	"time"
 
 	"shufflejoin/internal/bench"
+	"shufflejoin/internal/obs"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10)")
-		scale     = flag.String("scale", "full", "experiment scale: small or full")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
+		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10)")
+		scale       = flag.String("scale", "full", "experiment scale: small or full")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
 		budget      = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
 		maxExplored = flag.Int64("maxexplored", 0, "deterministic ILP node budget: cap branch-and-bound at N explored nodes (forces sequential ILP search so truncated plans reproduce exactly; wall-clock budget stays as a safety cap)")
 		par         = flag.Int("par", 0, "planner parallelism: workers for Tabu neighborhood evaluation and the ILP search (<= 1 sequential; results identical either way)")
 		calibrate   = flag.Bool("calibrate", false, "measure the cost-model parameters m, b, p on this machine instead of using defaults")
+		traceFile   = flag.String("trace", "", "write the pipeline spans of every executed query as Chrome trace-event JSON to this file (load in Perfetto)")
+		metrics     = flag.Bool("metrics", false, "print the accumulated query metric registry as JSON")
 	)
 	flag.Parse()
 
+	var tr *obs.Trace
+	if *traceFile != "" || *metrics {
+		tr = obs.New("expdriver")
+	}
+
 	cfg := bench.Config{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par}
-	rcfg := bench.RealConfig{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par}
-	lcfg := bench.LogicalConfig{Seed: *seed}
+	rcfg := bench.RealConfig{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par, Trace: tr}
+	lcfg := bench.LogicalConfig{Seed: *seed, Trace: tr}
 	switch *scale {
 	case "small":
 		cfg.Units = 256
@@ -157,4 +171,30 @@ func main() {
 		bench.RenderPhys(os.Stdout, "Figure 10: scale-out of merge join (skew a=1.0)", "nodes", rows, bench.GroupByNodes)
 		return nil
 	})
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nChrome trace written to %s (open in ui.perfetto.dev)\n", *traceFile)
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if err := tr.Metrics().WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
 }

@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"shufflejoin/internal/array"
-	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/pipeline"
 )
 
 // Compiled is a query lowered against concrete source schemas, ready to
@@ -116,7 +116,7 @@ func Compile(q *Query, left, right *array.Schema) (*Compiled, error) {
 }
 
 // ExecOptions folds the compiled query into executor options.
-func (c *Compiled) ExecOptions(base exec.Options) exec.Options {
+func (c *Compiled) ExecOptions(base pipeline.Options) pipeline.Options {
 	base.ExtraCarryLeft = append(base.ExtraCarryLeft, c.ExtraCarryLeft...)
 	base.ExtraCarryRight = append(base.ExtraCarryRight, c.ExtraCarryRight...)
 	base.ProjectFactory = c.ProjectFactory
@@ -189,7 +189,7 @@ type evalFunc func(l, r *join.Tuple) array.Value
 func compileExpr(e Expr, js *logical.JoinSchema) (evalFunc, error) {
 	switch x := e.(type) {
 	case ColRef:
-		acc, err := exec.Accessor(js, x.Array, x.Name)
+		acc, err := pipeline.Accessor(js, x.Array, x.Name)
 		if err != nil {
 			return nil, err
 		}

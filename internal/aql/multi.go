@@ -7,15 +7,15 @@ import (
 	"shufflejoin/internal/afl"
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
-	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/pipeline"
 )
 
 // MultiResult is the outcome of a multi-way join: the per-step shuffle
 // join reports in execution order and the final output array.
 type MultiResult struct {
-	Steps  []*exec.Report
+	Steps  []*pipeline.Report
 	Order  []string // human-readable join order, e.g. "B ⋈ C", "(B ⋈ C) ⋈ A"
 	Output *array.Array
 	// Aggregate phase durations across steps (steps run one after
@@ -41,7 +41,7 @@ type MultiPlanStep struct {
 // simulates the ordering loop using cardinality estimates only; no join
 // executes and no intermediate materializes (intermediate statistics are
 // approximated by the estimated output size on the union schema).
-func ExplainMulti(c *cluster.Cluster, query string, opt exec.Options) (*MultiPlan, error) {
+func ExplainMulti(c *cluster.Cluster, query string, opt pipeline.Options) (*MultiPlan, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -85,7 +85,7 @@ func ExplainMulti(c *cluster.Cluster, query string, opt exec.Options) (*MultiPla
 //
 // The SELECT list must be * or bare column names (projection applies to
 // the final intermediate); INTO is not supported for multi-way queries.
-func RunMulti(c *cluster.Cluster, query string, opt exec.Options) (*MultiResult, error) {
+func RunMulti(c *cluster.Cluster, query string, opt pipeline.Options) (*MultiResult, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -93,7 +93,7 @@ func RunMulti(c *cluster.Cluster, query string, opt exec.Options) (*MultiResult,
 	return runMultiParsed(c, q, opt)
 }
 
-func runMultiParsed(c *cluster.Cluster, q *Query, opt exec.Options) (*MultiResult, error) {
+func runMultiParsed(c *cluster.Cluster, q *Query, opt pipeline.Options) (*MultiResult, error) {
 	if len(q.From) < 3 {
 		return nil, fmt.Errorf("aql: RunMulti needs three or more arrays; use Run for two-way joins")
 	}
@@ -180,7 +180,7 @@ func runMultiParsed(c *cluster.Cluster, q *Query, opt exec.Options) (*MultiResul
 		pred := predsBetween(pending, best.a, best.b)
 		stepOpt := opt
 		stepOpt.ProjectFactory = nil // intermediates keep natural schemas
-		rep, err := exec.RunDistributed(c, da, db, pred, nil, stepOpt)
+		rep, err := pipeline.RunDistributed(c, da, db, pred, nil, stepOpt)
 		if err != nil {
 			return nil, fmt.Errorf("aql: joining %s with %s: %w", best.a, best.b, err)
 		}
@@ -304,7 +304,7 @@ func pairCost(c *cluster.Cluster, da, db *cluster.Distributed, pred join.Predica
 		return 0, err
 	}
 	nA, nB := da.Array.CellCount(), db.Array.CellCount()
-	sel := exec.EstimateSelectivity(c, src, nA, nB)
+	sel := pipeline.EstimateSelectivity(c, src, nA, nB)
 	return float64(nA) + float64(nB) + sel*float64(nA+nB), nil
 }
 

@@ -5,13 +5,13 @@ import (
 
 	"shufflejoin/internal/afl"
 	"shufflejoin/internal/cluster"
-	"shufflejoin/internal/exec"
+	"shufflejoin/internal/pipeline"
 )
 
 // Run parses, compiles, and executes an AQL join query against the
 // cluster's catalog. Literal WHERE conjuncts (column OP literal) push down
 // as selections on their source arrays before the join.
-func Run(c *cluster.Cluster, query string, opt exec.Options) (*exec.Report, error) {
+func Run(c *cluster.Cluster, query string, opt pipeline.Options) (*pipeline.Report, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -35,7 +35,7 @@ func Run(c *cluster.Cluster, query string, opt exec.Options) (*exec.Report, erro
 	if err != nil {
 		return nil, err
 	}
-	return exec.RunDistributed(c, dl, dr, comp.Pred, comp.Out, comp.ExecOptions(opt))
+	return pipeline.RunDistributed(c, dl, dr, comp.Pred, comp.Out, comp.ExecOptions(opt))
 }
 
 // pushdownFilters applies each literal filter to its source array,
@@ -91,7 +91,7 @@ func applyFilter(d *cluster.Distributed, f Filter) (*cluster.Distributed, error)
 
 // Explain parses and compiles a two-way query, then returns the
 // optimizer's plan enumeration without executing.
-func Explain(c *cluster.Cluster, query string, opt exec.Options) (*exec.Explanation, error) {
+func Explain(c *cluster.Cluster, query string, opt pipeline.Options) (*pipeline.Explanation, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -115,5 +115,5 @@ func Explain(c *cluster.Cluster, query string, opt exec.Options) (*exec.Explanat
 	if err != nil {
 		return nil, err
 	}
-	return exec.Explain(c, dl, dr, comp.Pred, comp.Out, comp.ExecOptions(opt))
+	return pipeline.Explain(c, dl, dr, comp.Pred, comp.Out, comp.ExecOptions(opt))
 }

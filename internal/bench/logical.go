@@ -7,9 +7,10 @@ import (
 
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
-	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
 	"shufflejoin/internal/stats"
 	"shufflejoin/internal/workload"
 )
@@ -22,6 +23,9 @@ type LogicalConfig struct {
 	Chunks        int64 // stored chunks per array (paper: 32)
 	Selectivities []float64
 	Seed          int64
+	// Trace, when set, receives every query's pipeline spans and metrics
+	// (all queries share the one trace; counters accumulate across them).
+	Trace *obs.Trace
 }
 
 func (c LogicalConfig) withDefaults() LogicalConfig {
@@ -83,9 +87,10 @@ func RunLogical(cfg LogicalConfig) ([]LogicalMeasurement, error) {
 			c.Load(a.Clone(), cluster.RoundRobin)
 			c.Load(b.Clone(), cluster.RoundRobin)
 			start := time.Now()
-			rep, err := exec.Run(c, "A", "B", pred, outSchema, exec.Options{
+			rep, err := pipeline.Run(c, "A", "B", pred, outSchema, pipeline.Options{
 				ForceAlgo: &algo,
 				Logical:   logical.PlanOptions{Selectivity: sel},
+				Trace:     cfg.Trace,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: sel=%v algo=%v: %w", sel, algo, err)

@@ -8,8 +8,9 @@ import (
 
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
-	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
 	"shufflejoin/internal/workload"
 )
 
@@ -25,6 +26,9 @@ type RealConfig struct {
 	ILPMaxExplored int64 // deterministic node budget (see Config)
 	Workers        int   // planner parallelism (see Config)
 	CoarseBins     int
+	// Trace, when set, receives every query's pipeline spans and metrics
+	// (all queries share the one trace; counters accumulate across them).
+	Trace *obs.Trace
 }
 
 func (c RealConfig) withDefaults() RealConfig {
@@ -145,9 +149,10 @@ func runReal(cfg RealConfig, left, right *array.Array, pred join.Predicate, out 
 		// placements are uncorrelated (round-robin vs. hashed).
 		c.Load(left.Clone(), cluster.RoundRobin)
 		c.Load(right.Clone(), cluster.HashChunks)
-		rep, err := exec.Run(c, left.Schema.Name, right.Schema.Name, pred, out, exec.Options{
+		rep, err := pipeline.Run(c, left.Schema.Name, right.Schema.Name, pred, out, pipeline.Options{
 			Planner:   planners[name],
 			ForceAlgo: &algo,
+			Trace:     cfg.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: planner %s: %w", name, err)

@@ -5,8 +5,9 @@ import (
 	"math/rand"
 
 	"shufflejoin/internal/cluster"
-	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
 	"shufflejoin/internal/workload"
 )
 
@@ -21,6 +22,9 @@ type RealSweepConfig struct {
 	CellsPerSide int64 // default 200k
 	Alphas       []float64
 	Seed         int64
+	// Trace, when set, receives every query's pipeline spans and metrics
+	// (all queries share the one trace; counters accumulate across them).
+	Trace *obs.Trace
 }
 
 func (c RealSweepConfig) withDefaults() RealSweepConfig {
@@ -75,9 +79,10 @@ func RealSkewSweep(cfg RealSweepConfig) ([]PhysMeasurement, error) {
 			c := cluster.MustNew(cfg.Nodes)
 			c.Load(a.Clone(), cluster.RoundRobin)
 			c.Load(b.Clone(), cluster.HashChunks)
-			rep, err := exec.Run(c, "A", "B", pred, nil, exec.Options{
+			rep, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
 				Planner:   planners[name],
 				ForceAlgo: &algo,
+				Trace:     cfg.Trace,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: real sweep alpha=%v planner=%s: %w", alpha, name, err)

@@ -1,765 +1,61 @@
-// Package exec implements shuffle join execution (Sections 3.3–3.4 of the
-// paper): logical planning, slice mapping, physical planning, the
-// lock-scheduled data alignment shuffle, and per-node cell comparison,
-// ending with assembly of the destination array.
+// Package exec is a thin compatibility layer over the staged pipeline
+// engine (internal/pipeline), which executes shuffle joins as an explicit
+// LogicalPlan → SliceMap → PhysicalPlan → Align → Compare → Assemble
+// stage sequence with join-unit-granular shuffle/compare overlap. The
+// former monolithic executor that lived here was refactored into that
+// package; exec re-exports the entry points and option/report types so
+// existing call sites and tests keep working unchanged.
 //
-// Cell comparison runs for real — actual cells flow through the chosen
-// join algorithm and into the output array — while phase durations are
-// also modeled with the calibrated per-cell cost parameters and the
-// discrete-event network simulator, so experiments report cluster-scale
-// timings deterministically.
+// Redistribution (the standalone redimension/repartition operation) still
+// lives here — see redistribute.go — because it is not a join pipeline.
 package exec
 
 import (
-	"fmt"
-	"math"
-	"time"
-
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
-	"shufflejoin/internal/obs"
-	"shufflejoin/internal/par"
-	"shufflejoin/internal/physical"
-	"shufflejoin/internal/shuffle"
-	"shufflejoin/internal/simnet"
-	"shufflejoin/internal/stats"
+	"shufflejoin/internal/pipeline"
 )
 
-// Options configures a shuffle join run.
-type Options struct {
-	// Planner assigns join units to nodes; defaults to the Minimum
-	// Bandwidth Heuristic.
-	Planner physical.Planner
-	// Logical tunes the logical plan enumeration (selectivity estimate,
-	// hash bucket count). Nodes is filled in from the cluster.
-	Logical logical.PlanOptions
-	// Params are the cost-model constants m, b, p, t; zero value uses
-	// DefaultParams.
-	Params physical.CostParams
-	// Scheduling selects the shuffle scheduler (default: greedy locks).
-	Scheduling simnet.Scheduling
-	// ForceAlgo restricts the logical planner to one join algorithm,
-	// used by experiments that compare algorithms directly.
-	ForceAlgo *join.Algorithm
-	// TargetCellsPerChunk tunes join-dimension inference.
-	TargetCellsPerChunk int64
-	// Parallelism is the worker count for the execution hot paths (slice
-	// mapping and per-node cell comparison): 0 means one worker per CPU
-	// (the default — parallel execution is on unless disabled), 1 forces
-	// sequential execution, and n > 1 uses n workers. Output, join stats,
-	// and modeled times are bit-for-bit identical at every setting.
-	Parallelism int
-	// StrictBounds makes the executor fail when an output cell's
-	// coordinates fall outside the destination's dimension ranges instead
-	// of silently clamping them (clamped cells can collide and overwrite
-	// each other). Clamps are counted in Report.ClampedCells either way.
-	StrictBounds bool
-	// ExtraCarryLeft/ExtraCarryRight name additional source attributes to
-	// carry through the shuffle (columns referenced only by SELECT
-	// expressions).
-	ExtraCarryLeft, ExtraCarryRight []string
-	// ProjectFactory, when non-nil, builds a projector that computes the
-	// output attribute values of each match instead of name-based field
-	// mapping (SELECT expression evaluation). The factory runs after the
-	// join schema is inferred; build per-field accessors with Accessor.
-	// The returned function must be safe for concurrent use unless
-	// Parallelism is 1.
-	ProjectFactory func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error)
-	// Trace, when non-nil, receives hierarchical spans (planning, align,
-	// per-transfer, per-node compare) and skew/congestion metrics for the
-	// run. Spans and metrics are recorded only from sequential orchestration
-	// code, so the capture is bit-for-bit identical at every Parallelism
-	// setting. Nil disables tracing at the cost of a nil check per call.
-	Trace *obs.Trace
-}
+// Options configures a shuffle join run. See pipeline.Options for the
+// field documentation, including the Barrier ablation knob and the
+// overlap semantics of Parallelism.
+type Options = pipeline.Options
 
-// workers resolves the Parallelism knob to an effective worker count.
-func (o *Options) workers() int { return par.Workers(o.Parallelism) }
+// Report is the outcome of one shuffle join; each field's documentation
+// names the pipeline stage that populates it (see pipeline.Report).
+type Report = pipeline.Report
 
-// Accessor resolves a source field of the join into an extractor over
-// matched tuple pairs: dimensions read coordinates, attributes read carried
-// values. arrayName may be empty to search both sides (left first).
-func Accessor(js *logical.JoinSchema, arrayName, field string) (func(l, r *join.Tuple) array.Value, error) {
-	src := js.Pred
-	carry := [2]map[int]int{carryPositions(js.LeftCarry), carryPositions(js.RightCarry)}
-	schemas := [2]*array.Schema{src.Left, src.Right}
-	for side, s := range schemas {
-		if arrayName != "" && arrayName != s.Name {
-			continue
-		}
-		if i := s.DimIndex(field); i >= 0 {
-			side, i := side, i
-			return func(l, r *join.Tuple) array.Value {
-				t := l
-				if side == 1 {
-					t = r
-				}
-				return array.IntValue(t.Coords[i])
-			}, nil
-		}
-		if i := s.AttrIndex(field); i >= 0 {
-			pos, ok := carry[side][i]
-			if !ok {
-				return nil, fmt.Errorf("exec: attribute %s.%s is not carried through the shuffle", s.Name, field)
-			}
-			side, pos := side, pos
-			return func(l, r *join.Tuple) array.Value {
-				t := l
-				if side == 1 {
-					t = r
-				}
-				return t.Attrs[pos]
-			}, nil
-		}
-	}
-	return nil, fmt.Errorf("exec: no field %s.%s in join sources", arrayName, field)
-}
+// Explanation describes the optimizer's view of a query without running
+// it (see pipeline.Explanation).
+type Explanation = pipeline.Explanation
 
-// Report is the outcome of one shuffle join: the chosen plans, the modeled
-// phase durations (seconds), and the materialized output.
-type Report struct {
-	Logical  logical.Plan
-	Physical physical.Result
-
-	// Selectivity is the output-cardinality estimate the logical planner
-	// used: the caller's, or the catalog-statistics estimate when the
-	// caller supplied none.
-	Selectivity float64
-
-	// Modeled phase durations in seconds, mirroring the paper's figures:
-	// PlanTime is real planning wall-time; AlignTime is the simulated
-	// shuffle makespan; CompareTime is the slowest node's modeled cell
-	// comparison (including post-join output sorting when the plan calls
-	// for it).
-	PlanTime    float64
-	AlignTime   float64
-	CompareTime float64
-	Total       float64
-
-	Align      simnet.Result
-	JoinStats  join.Stats
-	Matches    int64
-	CellsMoved int64
-
-	// NodeCompareTime is each node's modeled comparison seconds under the
-	// physical plan; CompareTime is its maximum.
-	NodeCompareTime []float64
-	// Skew is the straggler ratio of the comparison phase: the slowest
-	// node's modeled compare time over the mean (1 = perfectly balanced,
-	// 0 when no compare work exists).
-	Skew float64
-	// StragglerNode is the node with the largest modeled compare time
-	// (lowest id on ties), or -1 when no compare work exists.
-	StragglerNode int
-	// LockWaitSeconds is the total simulated time senders spent stalled on
-	// receiver write locks during data alignment — the shuffle-congestion
-	// half of the skew picture.
-	LockWaitSeconds float64
-
-	// ClampedCells counts output cells whose coordinates fell outside the
-	// destination's dimension ranges and were clamped onto the boundary.
-	// Clamped cells can collide with real cells and overwrite them, so a
-	// nonzero count is a data-fidelity warning (or an error under
-	// Options.StrictBounds).
-	ClampedCells int64
-	Output       *array.Array
-	WallTime     time.Duration
-}
-
-// Run executes τ = left ⋈ right over the cluster.
+// Run executes τ = left ⋈ right over the cluster through the staged
+// pipeline.
 func Run(c *cluster.Cluster, leftName, rightName string, pred join.Predicate, out *array.Schema, opt Options) (*Report, error) {
-	dl, err := c.Catalog.Lookup(leftName)
-	if err != nil {
-		return nil, err
-	}
-	dr, err := c.Catalog.Lookup(rightName)
-	if err != nil {
-		return nil, err
-	}
-	return RunDistributed(c, dl, dr, pred, out, opt)
+	return pipeline.Run(c, leftName, rightName, pred, out, opt)
 }
 
 // RunDistributed is Run for already-resolved distributed arrays.
 func RunDistributed(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) (*Report, error) {
-	wallStart := time.Now()
-	plans, sel, err := planLogical(c, dl, dr, pred, out, &opt)
-	if err != nil {
-		return nil, err
-	}
-	lp := plans[0]
-	if opt.ForceAlgo != nil {
-		found := false
-		for _, p := range plans {
-			if p.Algo == *opt.ForceAlgo {
-				lp, found = p, true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("exec: no valid plan with algorithm %v", *opt.ForceAlgo)
-		}
-	}
-
-	rep, err := execute(c, dl, dr, &lp, opt, wallStart)
-	if err != nil {
-		return nil, err
-	}
-	rep.Selectivity = sel
-	return rep, nil
-}
-
-// planLogical performs the Section 4 planning prefix shared by execution
-// and Explain: source resolution, join-schema inference, selectivity
-// estimation, and plan enumeration. opt is normalized in place.
-func planLogical(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt *Options) ([]logical.Plan, float64, error) {
-	if opt.Planner == nil {
-		opt.Planner = physical.MinBandwidthPlanner{}
-	}
-	if opt.Params == (physical.CostParams{}) {
-		opt.Params = physical.DefaultParams()
-	}
-	src, err := logical.ResolveSources(dl.Array.Schema, dr.Array.Schema, out, pred)
-	if err != nil {
-		return nil, 0, err
-	}
-	target := opt.TargetCellsPerChunk
-	if target <= 0 {
-		// Join units should be of moderate size (Section 3.3): fine
-		// grained enough to give every node many units to balance, capped
-		// so huge inputs don't flood the physical planner with options.
-		total := dl.Array.CellCount() + dr.Array.CellCount()
-		target = total / int64(32*c.K)
-		if target < 256 {
-			target = 256
-		}
-		if target > logical.DefaultTargetCellsPerChunk {
-			target = logical.DefaultTargetCellsPerChunk
-		}
-	}
-	js, err := logical.InferJoinSchema(src, logical.InferOptions{
-		AttrHistogram:       catalogHistogram(c),
-		TargetCellsPerChunk: target,
-		ExtraCarryLeft:      opt.ExtraCarryLeft,
-		ExtraCarryRight:     opt.ExtraCarryRight,
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	lopt := opt.Logical
-	lopt.Nodes = c.K
-	sa := logical.ArrayStats{Cells: dl.Array.CellCount(), Chunks: int64(dl.Array.ChunkCount())}
-	sb := logical.ArrayStats{Cells: dr.Array.CellCount(), Chunks: int64(dr.Array.ChunkCount())}
-	if lopt.Selectivity <= 0 {
-		// No caller estimate: derive one from catalog statistics
-		// (histogram-based power-law estimation; see internal/cardinality).
-		lopt.Selectivity = EstimateSelectivity(c, src, sa.Cells, sb.Cells)
-	}
-	sp := opt.Trace.Root().Child("plan.logical")
-	plans, err := logical.Enumerate(js, sa, sb, lopt)
-	if err != nil {
-		return nil, 0, err
-	}
-	sp.SetInt("candidates", int64(len(plans)))
-	sp.SetNum("selectivity", lopt.Selectivity)
-	sp.SetStr("best", plans[0].Describe())
-	sp.End()
-	opt.Trace.Metrics().Counter("plan.candidates").Add(int64(len(plans)))
-	return plans, lopt.Selectivity, nil
-}
-
-// Explanation describes the optimizer's view of a query without running
-// it: every valid logical plan with its modeled cost, cheapest first.
-type Explanation struct {
-	Selectivity float64
-	Units       string // join-unit description of the chosen plan
-	NumUnits    int
-	Plans       []logical.Plan
+	return pipeline.RunDistributed(c, dl, dr, pred, out, opt)
 }
 
 // Explain enumerates and costs the logical plans for a join without
-// executing it.
+// executing it (the pipeline's LogicalPlan stage only).
 func Explain(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) (*Explanation, error) {
-	plans, sel, err := planLogical(c, dl, dr, pred, out, &opt)
-	if err != nil {
-		return nil, err
-	}
-	return &Explanation{
-		Selectivity: sel,
-		Units:       plans[0].Units.String(),
-		NumUnits:    plans[0].NumUnits,
-		Plans:       plans,
-	}, nil
+	return pipeline.Explain(c, dl, dr, pred, out, opt)
 }
 
-// execute runs a chosen logical plan through slice mapping, physical
-// planning, alignment, and comparison.
-func execute(c *cluster.Cluster, dl, dr *cluster.Distributed, lp *logical.Plan, opt Options, wallStart time.Time) (*Report, error) {
-	js := lp.JS
-	rep := &Report{Logical: *lp}
-
-	workers := opt.workers()
-	tr := opt.Trace
-	reg := tr.Metrics()
-
-	// ---- Slice mapping (Section 3.3) ----
-	ms := tr.Root().Child("map.slices")
-	spec, lm, rm := logical.UnitSpecFor(lp)
-	ssl, err := shuffle.MapSideN(dl, c.K, spec, lm, workers)
-	if err != nil {
-		return nil, err
-	}
-	ssr, err := shuffle.MapSideN(dr, c.K, spec, rm, workers)
-	if err != nil {
-		return nil, err
-	}
-	ms.SetInt("units", int64(spec.NumUnits))
-	ms.End()
-
-	// ---- Physical planning (Section 5) ----
-	pr, err := physical.NewProblem(c.K, modelAlgo(lp.Algo), ssl.Sizes(), ssr.Sizes(), opt.Params)
-	if err != nil {
-		return nil, err
-	}
-	ps := tr.Root().Child("plan.physical")
-	pr.Span = ps
-	pres, err := opt.Planner.Plan(pr)
-	if err != nil {
-		return nil, err
-	}
-	rep.Physical = pres
-	rep.PlanTime = pres.PlanTime.Seconds()
-	rep.CellsMoved = pr.CellsMoved(pres.Assignment)
-	ps.SetStr("planner", pres.Planner)
-	ps.SetNum("model_cost", pres.Model.Total)
-	ps.SetInt("cells_moved", rep.CellsMoved)
-	ps.End()
-	if tr.Enabled() {
-		reg.Counter("units.count").Add(int64(pr.N))
-		cellsHist := reg.Histogram("units.cells", obs.PowersOf2Buckets(2, 16))
-		for u := 0; u < pr.N; u++ {
-			cellsHist.Observe(float64(pr.UnitTotal[u]))
-		}
-		reg.Counter("plan.ilp.nodes_explored").Add(pres.Search.ILPNodes)
-		reg.Counter("plan.ilp.nodes_pruned").Add(pres.Search.ILPPruned)
-		reg.Counter("plan.tabu.rounds").Add(int64(pres.Search.TabuRounds))
-		reg.Counter("plan.tabu.moves").Add(int64(pres.Search.TabuMoves))
-		reg.Counter("plan.tabu.whatifs").Add(pres.Search.TabuWhatIfs)
-	}
-
-	// ---- Data alignment (Section 3.4) ----
-	var transfers []simnet.Transfer
-	for u := 0; u < spec.NumUnits; u++ {
-		dest := pres.Assignment[u]
-		for node := 0; node < c.K; node++ {
-			cells := int64(len(ssl.Slice(u, node))) + int64(len(ssr.Slice(u, node)))
-			if node != dest && cells > 0 {
-				transfers = append(transfers, simnet.Transfer{From: node, To: dest, Cells: cells, Tag: u})
-			}
-		}
-	}
-	align, err := simnet.Simulate(simnet.Config{
-		Nodes:       c.K,
-		PerCellTime: opt.Params.Transfer,
-		Scheduling:  opt.Scheduling,
-	}, transfers)
-	if err != nil {
-		return nil, err
-	}
-	rep.Align = align
-	rep.AlignTime = align.Makespan
-	rep.LockWaitSeconds = align.LockWaitTime
-	if tr.Enabled() {
-		as := tr.Root().SimChild("align", 0, align.Makespan)
-		as.SetInt("transfers", int64(len(align.Timeline)))
-		as.SetInt("lock_waits", int64(align.LockWaits))
-		as.SetInt("skipped_sends", int64(align.SkippedSends))
-		as.SetNum("lock_wait_seconds", align.LockWaitTime)
-		for _, ev := range align.Timeline {
-			x := as.SimChild("xfer", ev.Start, ev.End)
-			x.SetNum("transfer", 1)
-			x.SetInt("from", int64(ev.From))
-			x.SetInt("to", int64(ev.To))
-			x.SetInt("unit", int64(ev.Tag))
-			x.SetInt("cells", ev.Cells)
-		}
-		reg.Counter("align.transfers").Add(int64(len(align.Timeline)))
-		reg.Counter("align.cells_moved").Add(rep.CellsMoved)
-		reg.Counter("align.lock_waits").Add(int64(align.LockWaits))
-		reg.Counter("align.skipped_sends").Add(int64(align.SkippedSends))
-		reg.Gauge("align.lock_wait_seconds").Add(align.LockWaitTime)
-		reg.Gauge("align.makespan_seconds").Add(align.Makespan)
-	}
-
-	// ---- Cell comparison (Section 3.4) ----
-	outArr, err := newOutputArray(js)
-	if err != nil {
-		return nil, err
-	}
-	var attrFn func(l, r *join.Tuple) []array.Value
-	if opt.ProjectFactory != nil {
-		attrFn, err = opt.ProjectFactory(js)
-		if err != nil {
-			return nil, err
-		}
-	}
-	proj, err := newProjector(js, attrFn)
-	if err != nil {
-		return nil, err
-	}
-
-	nodeUnits := make([][]int, c.K)
-	for u := 0; u < spec.NumUnits; u++ {
-		dest := pres.Assignment[u]
-		nodeUnits[dest] = append(nodeUnits[dest], u)
-	}
-
-	type nodeOut struct {
-		cells []array.StoredCell
-		stats join.Stats
-		time  float64
-		err   error
-	}
-	results := make([]nodeOut, c.K)
-	process := func(node int) {
-		no := &results[node]
-		// Each node projects with its own row counter (stride K) so
-		// synthetic row coordinates are unique and deterministic whether
-		// or not nodes run concurrently.
-		nproj := proj.forNode(node, c.K)
-		for _, u := range nodeUnits[node] {
-			left := ssl.Assemble(u, node)
-			right := ssr.Assemble(u, node)
-			if lp.Algo == join.Merge {
-				// Reassembled units are concatenations of sorted slices;
-				// restore full key order (Section 3.4's preprocessing).
-				join.SortTuples(left)
-				join.SortTuples(right)
-			}
-			st, err := join.Run(lp.Algo, left, right, func(l, r *join.Tuple) {
-				coords, attrs := nproj.project(l, r)
-				no.cells = append(no.cells, array.StoredCell{Coords: coords, Attrs: attrs})
-			})
-			if err != nil {
-				no.err = err
-				return
-			}
-			no.stats.Add(st)
-			no.time += unitModelTime(lp.Algo, opt.Params, len(left), len(right))
-		}
-		// Post-join output handling: sorting or redimensioning the node's
-		// output cells when the plan calls for it (OutSort / OutRedim).
-		if lp.Out != logical.OutScan && len(no.cells) > 0 {
-			n := float64(len(no.cells))
-			no.time += opt.Params.Merge * n * math.Log2(math.Max(n, 2))
-			if lp.Out == logical.OutRedim {
-				no.time += opt.Params.Merge * n
-			}
-		}
-	}
-	par.ForEach(c.K, workers, process)
-
-	// Replay per-node results in node order: results[node] slots are
-	// filled independently, so the output below is identical no matter
-	// how the worker pool interleaved the nodes.
-	rep.NodeCompareTime = make([]float64, c.K)
-	for node := 0; node < c.K; node++ {
-		no := &results[node]
-		if no.err != nil {
-			return nil, no.err
-		}
-		rep.JoinStats.Add(no.stats)
-		rep.NodeCompareTime[node] = no.time
-		if no.time > rep.CompareTime {
-			rep.CompareTime = no.time
-		}
-		for _, cell := range no.cells {
-			clamped, err := putClamped(outArr, cell.Coords, cell.Attrs, opt.StrictBounds)
-			if err != nil {
-				return nil, err
-			}
-			if clamped {
-				rep.ClampedCells++
-			}
-		}
-	}
-	rep.Matches = rep.JoinStats.Matches
-	rep.Skew, rep.StragglerNode = skewOf(rep.NodeCompareTime)
-
-	if tr.Enabled() {
-		cs := tr.Root().SimChild("compare", align.Makespan, align.Makespan+rep.CompareTime)
-		cs.SetNum("skew", rep.Skew)
-		cs.SetInt("straggler_node", int64(rep.StragglerNode))
-		for node := 0; node < c.K; node++ {
-			ns := cs.SimChild("compare.node", align.Makespan, align.Makespan+rep.NodeCompareTime[node])
-			ns.SetNode(node)
-			ns.SetInt("units", int64(len(nodeUnits[node])))
-			ns.SetInt("output_cells", int64(len(results[node].cells)))
-		}
-		reg.Gauge("compare.skew").Set(rep.Skew)
-		reg.Gauge("compare.straggler_node").Set(float64(rep.StragglerNode))
-		reg.Counter("compare.matches").Add(rep.Matches)
-		reg.Counter("compare.clamped_cells").Add(rep.ClampedCells)
-		for node := 0; node < c.K; node++ {
-			pfx := fmt.Sprintf("node%02d.", node)
-			var assigned int64
-			for _, u := range nodeUnits[node] {
-				assigned += pr.UnitTotal[u]
-			}
-			reg.Counter(pfx + "assigned_cells").Add(assigned)
-			reg.Gauge(pfx + "send_seconds").Add(align.SendBusy[node])
-			reg.Gauge(pfx + "recv_seconds").Add(align.RecvBusy[node])
-			reg.Gauge(pfx + "lock_wait_seconds").Add(align.RecvLockWait[node])
-			reg.Gauge(pfx + "compare_seconds").Add(rep.NodeCompareTime[node])
-		}
-		reg.Counter("exec.steps").Add(1)
-	}
-
-	outArr.SortAll()
-	rep.Output = outArr
-	rep.Total = rep.PlanTime + rep.AlignTime + rep.CompareTime
-	rep.WallTime = time.Since(wallStart)
-	return rep, nil
+// Accessor resolves a source field of the join into an extractor over
+// matched tuple pairs; see pipeline.Accessor.
+func Accessor(js *logical.JoinSchema, arrayName, field string) (func(l, r *join.Tuple) array.Value, error) {
+	return pipeline.Accessor(js, arrayName, field)
 }
 
-// skewOf returns the straggler ratio (max/mean) of per-node modeled
-// compare times and the argmax node, or (0, -1) when no node has work.
-func skewOf(times []float64) (float64, int) {
-	var sum, max float64
-	straggler := -1
-	for node, t := range times {
-		sum += t
-		if straggler == -1 || t > max {
-			max, straggler = t, node
-		}
-	}
-	if sum == 0 {
-		return 0, -1
-	}
-	mean := sum / float64(len(times))
-	return max / mean, straggler
-}
-
-// modelAlgo maps the plan's algorithm to one the physical cost model
-// accepts; nested loop (never profitable, still executable) is modeled as
-// hash for assignment purposes.
-func modelAlgo(a join.Algorithm) join.Algorithm {
-	if a == join.NestedLoop {
-		return join.Hash
-	}
-	return a
-}
-
-// unitModelTime applies the Section 5.1 per-unit cost C_i.
-func unitModelTime(algo join.Algorithm, p physical.CostParams, nl, nr int) float64 {
-	switch algo {
-	case join.Merge:
-		return p.Merge * float64(nl+nr)
-	case join.Hash:
-		small, large := nl, nr
-		if small > large {
-			small, large = large, small
-		}
-		return p.Build*float64(small) + p.Probe*float64(large)
-	default: // nested loop: every pair probed
-		return p.Probe * float64(nl) * float64(nr)
-	}
-}
-
-// catalogHistogram builds attribute histograms on demand by scanning the
-// stored array — the statistics the paper's engine keeps in its catalog.
-func catalogHistogram(c *cluster.Cluster) func(arrayName, attrName string) *stats.Histogram {
-	return func(arrayName, attrName string) *stats.Histogram {
-		d, err := c.Catalog.Lookup(arrayName)
-		if err != nil {
-			return nil
-		}
-		ai := d.Array.Schema.AttrIndex(attrName)
-		if ai < 0 {
-			return nil
-		}
-		lo, hi := math.Inf(1), math.Inf(-1)
-		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
-			v := attrs[ai].AsFloat()
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-			return true
-		})
-		if lo > hi {
-			return nil
-		}
-		h := stats.NewHistogram(lo, hi, 64)
-		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
-			h.Add(attrs[ai].AsFloat())
-			return true
-		})
-		return h
-	}
-}
-
-// putClamped stores an output cell, clamping coordinates into the
-// destination's dimension ranges (join keys can exceed a destination
-// declared smaller than the data). It reports whether any coordinate was
-// clamped; under strict bounds an out-of-range cell is an error instead.
-func putClamped(a *array.Array, coords []int64, attrs []array.Value, strict bool) (bool, error) {
-	clamped := false
-	for i, d := range a.Schema.Dims {
-		if coords[i] < d.Start || coords[i] > d.End {
-			if strict {
-				return false, fmt.Errorf("exec: output cell %v outside destination dimension %s=[%d,%d] (StrictBounds)",
-					coords, d.Name, d.Start, d.End)
-			}
-			clamped = true
-			if coords[i] < d.Start {
-				coords[i] = d.Start
-			} else {
-				coords[i] = d.End
-			}
-		}
-	}
-	return clamped, a.Put(coords, attrs)
-}
-
-// newOutputArray materializes the destination schema. A destination with
-// no dimensions (unordered output, e.g. INTO T<i:int,j:int>[]) gets a
-// synthetic row dimension.
-func newOutputArray(js *logical.JoinSchema) (*array.Array, error) {
-	out := js.Pred.Out.Clone()
-	if len(out.Dims) == 0 {
-		out.Dims = []array.Dimension{{Name: "row_", Start: 0, End: math.MaxInt64 / 2, ChunkInterval: 1 << 20}}
-	}
-	return array.New(out)
-}
-
-// projector maps a matched tuple pair to an output cell.
-type projector struct {
-	js       *logical.JoinSchema
-	dimSrc   []fieldSrc
-	attrSrc  []fieldSrc
-	rowDim   bool
-	nextRow  int64
-	rowStep  int64
-	carryPos [2]map[int]int // original attr index -> tuple.Attrs position
-	attrFn   func(l, r *join.Tuple) []array.Value
-}
-
-// forNode returns a node-local copy whose synthetic row coordinates are
-// node, node+k, node+2k, … — disjoint across nodes.
-func (p *projector) forNode(node, k int) *projector {
-	c := *p
-	c.nextRow = int64(node)
-	c.rowStep = int64(k)
-	return &c
-}
-
-// fieldSrc locates one output field's value in a matched pair.
-type fieldSrc struct {
-	side  int // 0 = left tuple, 1 = right tuple
-	isDim bool
-	idx   int // coords index, or position within tuple.Attrs
-}
-
-func newProjector(js *logical.JoinSchema, attrFn func(l, r *join.Tuple) []array.Value) (*projector, error) {
-	p := &projector{js: js, attrFn: attrFn}
-	p.carryPos[0] = carryPositions(js.LeftCarry)
-	p.carryPos[1] = carryPositions(js.RightCarry)
-	out := js.Pred.Out
-	if len(out.Dims) == 0 {
-		p.rowDim = true
-	} else {
-		for _, d := range out.Dims {
-			src, err := p.resolveField(d.Name)
-			if err != nil {
-				return nil, err
-			}
-			p.dimSrc = append(p.dimSrc, src)
-		}
-	}
-	if attrFn == nil {
-		for _, a := range out.Attrs {
-			src, err := p.resolveField(a.Name)
-			if err != nil {
-				return nil, err
-			}
-			p.attrSrc = append(p.attrSrc, src)
-		}
-	}
-	return p, nil
-}
-
-func carryPositions(carry []int) map[int]int {
-	m := make(map[int]int, len(carry))
-	for pos, idx := range carry {
-		m[idx] = pos
-	}
-	return m
-}
-
-// resolveField finds where an output field's value comes from: a source
-// dimension, a carried source attribute, or — when the name matches a
-// predicate term — the corresponding key value.
-func (p *projector) resolveField(name string) (fieldSrc, error) {
-	src := p.js.Pred
-	schemas := [2]*array.Schema{src.Left, src.Right}
-	for side, s := range schemas {
-		if i := s.DimIndex(name); i >= 0 {
-			return fieldSrc{side: side, isDim: true, idx: i}, nil
-		}
-		if i := s.AttrIndex(name); i >= 0 {
-			if pos, ok := p.carryPos[side][i]; ok {
-				return fieldSrc{side: side, isDim: false, idx: pos}, nil
-			}
-		}
-	}
-	// Predicate-name match: τ renames a joined pair (e.g. dimension v fed
-	// by A.v = B.w). Use the left side's term.
-	for pi, pair := range src.Resolved.Pred {
-		if pair.Left.Name == name || pair.Right.Name == name {
-			ref := src.Resolved.Left[pi]
-			if ref.IsDim {
-				return fieldSrc{side: 0, isDim: true, idx: ref.Index}, nil
-			}
-			if pos, ok := p.carryPos[0][ref.Index]; ok {
-				return fieldSrc{side: 0, isDim: false, idx: pos}, nil
-			}
-		}
-	}
-	return fieldSrc{}, fmt.Errorf("exec: output field %q has no source in %s or %s",
-		name, src.Left.Name, src.Right.Name)
-}
-
-func (p *projector) project(l, r *join.Tuple) ([]int64, []array.Value) {
-	pick := func(src fieldSrc) array.Value {
-		t := l
-		if src.side == 1 {
-			t = r
-		}
-		if src.isDim {
-			return array.IntValue(t.Coords[src.idx])
-		}
-		return t.Attrs[src.idx]
-	}
-	var coords []int64
-	if p.rowDim {
-		coords = []int64{p.nextRow}
-		p.nextRow += p.rowStep
-	} else {
-		coords = make([]int64, len(p.dimSrc))
-		for i, src := range p.dimSrc {
-			coords[i] = pick(src).AsInt()
-		}
-	}
-	if p.attrFn != nil {
-		return coords, p.attrFn(l, r)
-	}
-	attrs := make([]array.Value, len(p.attrSrc))
-	for i, src := range p.attrSrc {
-		attrs[i] = pick(src)
-	}
-	return coords, attrs
+// EstimateSelectivity predicts the join's output cardinality from catalog
+// statistics; see pipeline.EstimateSelectivity.
+func EstimateSelectivity(c *cluster.Cluster, src *logical.ResolvedSources, nA, nB int64) float64 {
+	return pipeline.EstimateSelectivity(c, src, nA, nB)
 }

@@ -26,6 +26,11 @@ type RedistributeReport struct {
 type RedistributeOptions struct {
 	Params     physical.CostParams
 	Scheduling simnet.Scheduling
+	// StrictBounds fails the redistribution when a source cell's value for
+	// a target dimension falls outside that dimension's declared range,
+	// instead of silently clamping it onto the boundary (clamped cells
+	// collapse into the edge chunks, skewing placement and sort costs).
+	StrictBounds bool
 }
 
 // Redistribute performs the redimension of Section 2.3.1 as a cluster
@@ -60,7 +65,7 @@ func Redistribute(c *cluster.Cluster, d *cluster.Distributed, target *array.Sche
 	// as in the shuffle join's data alignment).
 	type flow struct{ from, to int }
 	counts := make(map[array.ChunkKey]map[flow]int64)
-	mapper, err := targetMapper(d.Array.Schema, target)
+	mapper, err := targetMapper(d.Array.Schema, target, opt.StrictBounds)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -68,7 +73,10 @@ func Redistribute(c *cluster.Cluster, d *cluster.Distributed, target *array.Sche
 		from := d.Placement[key]
 		for row := 0; row < ch.Len(); row++ {
 			coords, attrs := ch.Cell(row)
-			destKey := mapper(coords, attrs)
+			destKey, err := mapper(coords, attrs)
+			if err != nil {
+				return nil, nil, err
+			}
 			to, ok := destNode[destKey]
 			if !ok {
 				// Destination chunk empty in out (cannot happen: the cell
@@ -141,7 +149,9 @@ func Redistribute(c *cluster.Cluster, d *cluster.Distributed, target *array.Sche
 }
 
 // targetMapper resolves how a source cell maps into the target chunk grid.
-func targetMapper(src, target *array.Schema) (func(coords []int64, attrs []array.Value) array.ChunkKey, error) {
+// Out-of-range values are clamped onto the boundary, or rejected when
+// strict is set.
+func targetMapper(src, target *array.Schema, strict bool) (func(coords []int64, attrs []array.Value) (array.ChunkKey, error), error) {
 	type ref struct {
 		isDim bool
 		idx   int
@@ -159,7 +169,7 @@ func targetMapper(src, target *array.Schema) (func(coords []int64, attrs []array
 		return nil, fmt.Errorf("exec: target dimension %q not in source %s", d.Name, src.Name)
 	}
 	dims := target.Dims
-	return func(coords []int64, attrs []array.Value) array.ChunkKey {
+	return func(coords []int64, attrs []array.Value) (array.ChunkKey, error) {
 		idx := make([]int64, len(refs))
 		for i, r := range refs {
 			var v int64
@@ -168,15 +178,20 @@ func targetMapper(src, target *array.Schema) (func(coords []int64, attrs []array
 			} else {
 				v = attrs[r.idx].AsInt()
 			}
-			if v < dims[i].Start {
-				v = dims[i].Start
-			}
-			if v > dims[i].End {
-				v = dims[i].End
+			if v < dims[i].Start || v > dims[i].End {
+				if strict {
+					return "", fmt.Errorf("exec: cell value %d outside target dimension %s=[%d,%d] (StrictBounds)",
+						v, dims[i].Name, dims[i].Start, dims[i].End)
+				}
+				if v < dims[i].Start {
+					v = dims[i].Start
+				} else {
+					v = dims[i].End
+				}
 			}
 			idx[i] = dims[i].ChunkIndex(v)
 		}
-		return array.MakeChunkKey(idx)
+		return array.MakeChunkKey(idx), nil
 	}, nil
 }
 

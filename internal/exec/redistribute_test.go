@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"strings"
 	"testing"
 
 	"shufflejoin/internal/array"
@@ -86,5 +87,104 @@ func TestRedistributeErrors(t *testing.T) {
 	bad := &array.Schema{Name: "X"}
 	if _, _, err := Redistribute(c, d, bad, RedistributeOptions{}); err == nil {
 		t.Error("invalid target schema should fail")
+	}
+}
+
+func TestRedistributeMismatchedChunkInterval(t *testing.T) {
+	// A target whose chunk interval was corrupted (zero / negative) must be
+	// rejected by schema validation before any cell moves, not divide by
+	// zero inside the chunk grid math.
+	a := buildArray("A<v:int>[i=1,100,10]", 23, 40, 50)
+	c := cluster.MustNew(2)
+	d := c.Load(a, cluster.RoundRobin)
+	for _, interval := range []int64{0, -5} {
+		target := array.MustParseSchema("T<v:int>[i=1,100,10]")
+		target.Dims[0].ChunkInterval = interval
+		_, _, err := Redistribute(c, d, target, RedistributeOptions{})
+		if err == nil {
+			t.Errorf("chunk interval %d: want validation error, got nil", interval)
+		} else if !strings.Contains(err.Error(), "chunk interval") {
+			t.Errorf("chunk interval %d: error %q does not mention the chunk interval", interval, err)
+		}
+	}
+}
+
+func TestRedistributeEmptyDistribution(t *testing.T) {
+	// Redistributing an empty array is a no-op, not an error: zero cells
+	// moved, zero modeled time, and the (empty) result still lands in the
+	// catalog under the target name.
+	empty := array.MustNew(array.MustParseSchema("A<v:int>[i=1,100,10]"))
+	c := cluster.MustNew(3)
+	d := c.Load(empty, cluster.RoundRobin)
+	out, rep, err := Redistribute(c, d, array.MustParseSchema("A2<v:int>[i=1,100,20]"), RedistributeOptions{})
+	if err != nil {
+		t.Fatalf("Redistribute(empty): %v", err)
+	}
+	if out.Array.CellCount() != 0 {
+		t.Errorf("cells = %d, want 0", out.Array.CellCount())
+	}
+	if rep.CellsMoved != 0 || rep.AlignTime != 0 || rep.SortTime != 0 || rep.TotalTime != 0 {
+		t.Errorf("empty redistribution reported work: %+v", rep)
+	}
+	if _, err := c.Catalog.Lookup("A2"); err != nil {
+		t.Errorf("catalog lookup: %v", err)
+	}
+}
+
+func TestRedistributeStrictBounds(t *testing.T) {
+	// One cell's attribute value (500) falls outside the target dimension
+	// v=[1,50]. Default mode clamps it onto the boundary; StrictBounds
+	// turns it into an error naming the offending value and range.
+	a := array.MustNew(array.MustParseSchema("A<v:int>[i=1,20,5]"))
+	for i := int64(1); i <= 20; i++ {
+		v := i
+		if i == 7 {
+			v = 500
+		}
+		a.MustPut([]int64{i}, []array.Value{array.IntValue(v)})
+	}
+	a.SortAll()
+	target := array.MustParseSchema("T<i:int>[v=1,50,10]")
+
+	c := cluster.MustNew(2)
+	d := c.Load(a, cluster.RoundRobin)
+	out, _, err := Redistribute(c, d, target, RedistributeOptions{})
+	if err != nil {
+		t.Fatalf("clamping mode: %v", err)
+	}
+	if vals, ok := out.Array.Get([]int64{50}); !ok || vals[0].AsInt() != 7 {
+		t.Errorf("out-of-range cell not clamped onto boundary v=50: %v, %v", vals, ok)
+	}
+
+	c2 := cluster.MustNew(2)
+	d2 := c2.Load(a.Clone(), cluster.RoundRobin)
+	_, _, err = Redistribute(c2, d2, target, RedistributeOptions{StrictBounds: true})
+	if err == nil {
+		t.Fatal("StrictBounds: want error for out-of-range value, got nil")
+	}
+	for _, frag := range []string{"StrictBounds", "500", "v=[1,50]"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("StrictBounds error %q missing %q", err, frag)
+		}
+	}
+
+	// With every value in range, StrictBounds matches the default mode
+	// cell for cell.
+	inRange := buildArray("A<v:int>[i=1,40,8]", 24, 30, 49)
+	c3 := cluster.MustNew(2)
+	d3 := c3.Load(inRange, cluster.RoundRobin)
+	strictOut, strictRep, err := Redistribute(c3, d3, array.MustParseSchema("T2<i:int>[v=0,50,10]"), RedistributeOptions{StrictBounds: true})
+	if err != nil {
+		t.Fatalf("StrictBounds with in-range data: %v", err)
+	}
+	c4 := cluster.MustNew(2)
+	d4 := c4.Load(inRange.Clone(), cluster.RoundRobin)
+	laxOut, laxRep, err := Redistribute(c4, d4, array.MustParseSchema("T2<i:int>[v=0,50,10]"), RedistributeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strictOut.Array.CellCount() != laxOut.Array.CellCount() || strictRep.CellsMoved != laxRep.CellsMoved {
+		t.Errorf("StrictBounds changed behavior on in-range data: %d/%d cells, %d/%d moved",
+			strictOut.Array.CellCount(), laxOut.Array.CellCount(), strictRep.CellsMoved, laxRep.CellsMoved)
 	}
 }

@@ -54,6 +54,67 @@ type Trace struct {
 	epoch time.Time
 	root  *Span
 	reg   *Registry
+	sinks []SpanSink
+}
+
+// SpanSink is a streaming consumer of retired spans. The pipeline engine
+// delivers each span exactly once, from sequential orchestration code, the
+// moment the span ends — long before the whole query (and therefore the
+// whole span tree) completes. Delivery order is deterministic: it is the
+// order in which stages retire their spans, which the determinism contract
+// (see the package comment) fixes across Parallelism settings.
+//
+// SpanRetired is called with the trace mutex released, so a sink may read
+// the span's exported fields and call back into the trace. The span's
+// Children slice may still grow after delivery only for container spans
+// that are re-ended; the engine never does that.
+type SpanSink interface {
+	SpanRetired(s *Span)
+}
+
+// AddSink registers a streaming consumer for retired spans. No-op on a
+// disabled trace. Sinks added after spans have already retired only see
+// subsequent retirements; the in-memory tree (Root) always has the full
+// history.
+func (t *Trace) AddSink(sink SpanSink) {
+	if t == nil || sink == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sinks = append(t.sinks, sink)
+	t.mu.Unlock()
+}
+
+// CollectSink is the trivial SpanSink: it appends every retired span to an
+// in-memory list in delivery order. It is safe for use from tests that
+// probe incremental delivery concurrently with a running query.
+type CollectSink struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// SpanRetired implements SpanSink.
+func (c *CollectSink) SpanRetired(s *Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Spans returns a snapshot of the spans delivered so far, in delivery
+// order.
+func (c *CollectSink) Spans() []*Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Span, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// Len returns the number of spans delivered so far.
+func (c *CollectSink) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
 }
 
 // New returns an enabled trace whose root span carries the given name.
@@ -104,6 +165,7 @@ type Span struct {
 	SimStart, SimEnd float64
 
 	wallStart, wallEnd float64
+	retired            bool
 
 	Attrs    []Attr
 	Children []*Span
@@ -131,14 +193,29 @@ func (s *Span) SimChild(name string, start, end float64) *Span {
 	return c
 }
 
-// End closes a wall-clock span.
+// End closes the span and retires it to every registered SpanSink. For
+// wall-clock spans it also records the end timestamp; simulated spans keep
+// their SimStart/SimEnd and End only retires them. A span retires at most
+// once — re-ending a wall-clock span updates its end time but is not
+// re-delivered.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.trace.mu.Lock()
-	s.wallEnd = s.trace.since()
+	if !s.Sim {
+		s.wallEnd = s.trace.since()
+	}
+	first := !s.retired
+	s.retired = true
+	var sinks []SpanSink
+	if first {
+		sinks = s.trace.sinks
+	}
 	s.trace.mu.Unlock()
+	for _, sink := range sinks {
+		sink.SpanRetired(s)
+	}
 }
 
 // WallSeconds returns the span's wall duration so far (0 for nil or

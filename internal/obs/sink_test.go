@@ -1,0 +1,77 @@
+package obs
+
+import "testing"
+
+func TestSinkReceivesRetiredSpans(t *testing.T) {
+	tr := New("query")
+	var sink CollectSink
+	tr.AddSink(&sink)
+
+	p := tr.Root().Child("plan")
+	p.SetNum("cost", 1)
+	p.End()
+	a := tr.Root().SimChild("align", 0, 2)
+	a.End()
+	c := tr.Root().SimChild("compare", 2, 3)
+	c.End()
+
+	got := sink.Spans()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d spans, want 3", len(got))
+	}
+	wantNames := []string{"plan", "align", "compare"}
+	for i, s := range got {
+		if s.Name != wantNames[i] {
+			t.Fatalf("span %d = %q, want %q", i, s.Name, wantNames[i])
+		}
+	}
+	if got[1].SimEnd != 2 {
+		t.Fatalf("sim span delivered with SimEnd=%v", got[1].SimEnd)
+	}
+}
+
+func TestSinkDeliversOncePerSpan(t *testing.T) {
+	tr := New("query")
+	var sink CollectSink
+	tr.AddSink(&sink)
+	s := tr.Root().Child("plan")
+	s.End()
+	s.End() // re-ending must not re-deliver
+	if sink.Len() != 1 {
+		t.Fatalf("delivered %d times, want 1", sink.Len())
+	}
+}
+
+func TestSinkSimEndKeepsSimTimes(t *testing.T) {
+	tr := New("query")
+	s := tr.Root().SimChild("align", 1.5, 4.25)
+	s.End()
+	if s.SimStart != 1.5 || s.SimEnd != 4.25 {
+		t.Fatalf("End mutated sim times: [%v,%v]", s.SimStart, s.SimEnd)
+	}
+	if s.WallSeconds() != 0 {
+		t.Fatalf("sim span reports wall seconds %v", s.WallSeconds())
+	}
+}
+
+func TestNilTraceAddSinkIsNoOp(t *testing.T) {
+	var tr *Trace
+	var sink CollectSink
+	tr.AddSink(&sink) // must not panic
+	tr.Root().Child("x").End()
+	if sink.Len() != 0 {
+		t.Fatalf("nil trace delivered %d spans", sink.Len())
+	}
+}
+
+func TestAddSinkAfterRetirementSeesOnlyNewSpans(t *testing.T) {
+	tr := New("query")
+	tr.Root().Child("early").End()
+	var sink CollectSink
+	tr.AddSink(&sink)
+	tr.Root().Child("late").End()
+	got := sink.Spans()
+	if len(got) != 1 || got[0].Name != "late" {
+		t.Fatalf("late sink saw %d spans (first %v)", len(got), got)
+	}
+}

@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/par"
+	"shufflejoin/internal/physical"
+	"shufflejoin/internal/simnet"
+)
+
+// Options configures a shuffle join run.
+type Options struct {
+	// Planner assigns join units to nodes; defaults to the Minimum
+	// Bandwidth Heuristic.
+	Planner physical.Planner
+	// Logical tunes the logical plan enumeration (selectivity estimate,
+	// hash bucket count). Nodes is filled in from the cluster.
+	Logical logical.PlanOptions
+	// Params are the cost-model constants m, b, p, t; zero value uses
+	// DefaultParams.
+	Params physical.CostParams
+	// Scheduling selects the shuffle scheduler (default: greedy locks).
+	Scheduling simnet.Scheduling
+	// ForceAlgo restricts the logical planner to one join algorithm,
+	// used by experiments that compare algorithms directly.
+	ForceAlgo *join.Algorithm
+	// TargetCellsPerChunk tunes join-dimension inference.
+	TargetCellsPerChunk int64
+	// Parallelism is the worker count for the execution hot paths (slice
+	// mapping and join-unit cell comparison): 0 means one worker per CPU
+	// (the default — parallel execution is on unless disabled), 1 forces
+	// sequential execution, and n > 1 uses n workers. Output, join stats,
+	// and modeled times are bit-for-bit identical at every setting.
+	Parallelism int
+	// Barrier disables the default overlapped execution — in which a join
+	// unit's comparison is dispatched the moment its last inbound slice
+	// lands in the simulated shuffle — and instead runs the pre-pipeline
+	// reference path: a global alignment barrier followed by per-node
+	// comparison. Output, modeled times, and trace fingerprints are
+	// bit-for-bit identical in both modes at every Parallelism setting;
+	// the knob exists for the equivalence test and for ablations.
+	Barrier bool
+	// StrictBounds makes the Assemble stage fail when an output cell's
+	// coordinates fall outside the destination's dimension ranges instead
+	// of silently clamping them (clamped cells can collide and overwrite
+	// each other). Clamps are counted in Report.ClampedCells either way.
+	StrictBounds bool
+	// ExtraCarryLeft/ExtraCarryRight name additional source attributes to
+	// carry through the shuffle (columns referenced only by SELECT
+	// expressions).
+	ExtraCarryLeft, ExtraCarryRight []string
+	// ProjectFactory, when non-nil, builds a projector that computes the
+	// output attribute values of each match instead of name-based field
+	// mapping (SELECT expression evaluation). The factory runs after the
+	// join schema is inferred; build per-field accessors with Accessor.
+	// The returned function must be safe for concurrent use unless
+	// Parallelism is 1.
+	ProjectFactory func(js *logical.JoinSchema) (func(l, r *join.Tuple) []array.Value, error)
+	// Trace, when non-nil, receives hierarchical spans (planning, align,
+	// per-transfer, per-node compare) and skew/congestion metrics for the
+	// run. Spans and metrics are recorded only from the orchestration
+	// goroutine as stages retire, so the capture is bit-for-bit identical
+	// at every Parallelism setting, and a registered obs.SpanSink sees
+	// spans incrementally while the query is still executing. Nil
+	// disables tracing at the cost of a nil check per call.
+	Trace *obs.Trace
+}
+
+// workers resolves the Parallelism knob to an effective worker count.
+func (o *Options) workers() int { return par.Workers(o.Parallelism) }
+
+// Accessor resolves a source field of the join into an extractor over
+// matched tuple pairs: dimensions read coordinates, attributes read carried
+// values. arrayName may be empty to search both sides (left first).
+func Accessor(js *logical.JoinSchema, arrayName, field string) (func(l, r *join.Tuple) array.Value, error) {
+	src := js.Pred
+	carry := [2]map[int]int{carryPositions(js.LeftCarry), carryPositions(js.RightCarry)}
+	schemas := [2]*array.Schema{src.Left, src.Right}
+	for side, s := range schemas {
+		if arrayName != "" && arrayName != s.Name {
+			continue
+		}
+		if i := s.DimIndex(field); i >= 0 {
+			side, i := side, i
+			return func(l, r *join.Tuple) array.Value {
+				t := l
+				if side == 1 {
+					t = r
+				}
+				return array.IntValue(t.Coords[i])
+			}, nil
+		}
+		if i := s.AttrIndex(field); i >= 0 {
+			pos, ok := carry[side][i]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: attribute %s.%s is not carried through the shuffle", s.Name, field)
+			}
+			side, pos := side, pos
+			return func(l, r *join.Tuple) array.Value {
+				t := l
+				if side == 1 {
+					t = r
+				}
+				return t.Attrs[pos]
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("pipeline: no field %s.%s in join sources", arrayName, field)
+}
+
+// Report is the outcome of one shuffle join: the chosen plans, the modeled
+// phase durations (seconds), and the materialized output. Each field's
+// comment names the pipeline stage that populates it.
+type Report struct {
+	// Logical is the chosen logical plan (LogicalPlan stage).
+	Logical logical.Plan
+	// Physical is the join-unit-to-node assignment and its modeled cost
+	// breakdown (PhysicalPlan stage).
+	Physical physical.Result
+
+	// Selectivity is the output-cardinality estimate the logical planner
+	// used — the caller's, or the catalog-statistics estimate when the
+	// caller supplied none (LogicalPlan stage).
+	Selectivity float64
+
+	// Modeled phase durations in seconds, mirroring the paper's figures:
+	// PlanTime is real planning wall-time (PhysicalPlan stage); AlignTime
+	// is the simulated shuffle makespan (Align stage); CompareTime is the
+	// slowest node's modeled cell comparison, including post-join output
+	// sorting when the plan calls for it (Compare stage); Total is their
+	// sum (Assemble stage).
+	PlanTime    float64
+	AlignTime   float64
+	CompareTime float64
+	Total       float64
+
+	// Align is the full shuffle simulation result (Align stage).
+	Align simnet.Result
+	// JoinStats aggregates the join algorithm's comparison/match counters
+	// over all join units (Compare stage).
+	JoinStats join.Stats
+	// Matches is JoinStats.Matches (Compare stage).
+	Matches int64
+	// CellsMoved is the network traffic of the chosen physical plan
+	// (PhysicalPlan stage).
+	CellsMoved int64
+
+	// NodeCompareTime is each node's modeled comparison seconds under the
+	// physical plan; CompareTime is its maximum (Compare stage).
+	NodeCompareTime []float64
+	// Skew is the straggler ratio of the comparison phase: the slowest
+	// node's modeled compare time over the mean (1 = perfectly balanced,
+	// 0 when no compare work exists) (Compare stage).
+	Skew float64
+	// StragglerNode is the node with the largest modeled compare time
+	// (lowest id on ties), or -1 when no compare work exists (Compare
+	// stage).
+	StragglerNode int
+	// LockWaitSeconds is the total simulated time senders spent stalled on
+	// receiver write locks during data alignment — the shuffle-congestion
+	// half of the skew picture (Align stage).
+	LockWaitSeconds float64
+
+	// ClampedCells counts output cells whose coordinates fell outside the
+	// destination's dimension ranges and were clamped onto the boundary.
+	// Clamped cells can collide with real cells and overwrite them, so a
+	// nonzero count is a data-fidelity warning (or an error under
+	// Options.StrictBounds) (Assemble stage).
+	ClampedCells int64
+	// Output is the materialized, sorted destination array (Assemble
+	// stage).
+	Output *array.Array
+	// WallTime is the real elapsed time of the whole pipeline (Assemble
+	// stage).
+	WallTime time.Duration
+}

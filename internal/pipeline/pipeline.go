@@ -1,0 +1,170 @@
+// Package pipeline is the staged query-execution engine of the shuffle
+// join (Sections 3.3–3.4 of the paper). A query runs as an explicit
+// sequence of stages —
+//
+//	LogicalPlan → SliceMap → PhysicalPlan → Align → Compare → Assemble
+//
+// — threading one QueryContext that carries the cluster, the options, the
+// observability trace, and every intermediate product from stage to
+// stage. internal/exec re-exports the entry points for compatibility;
+// the AQL runner, the public facade, and both CLIs all execute through
+// Run / RunDistributed here.
+//
+// # Overlapped execution
+//
+// The engine overlaps data alignment with cell comparison at join-unit
+// granularity: the Align stage subscribes to the network simulator's
+// per-transfer completion events (simnet.Config.OnComplete) and
+// dispatches a unit's comparison the moment its last inbound slice lands
+// — the paper's per-receiver write-lock model makes that point well
+// defined — instead of waiting for a global alignment barrier. Units
+// whose slices are already local are dispatched before the simulation
+// even starts.
+//
+// Overlap is a wall-clock optimization only; the modeled timeline is
+// unchanged (compare time is still stacked after the align makespan, as
+// in the paper's cost model). Output cells, modeled times, and trace
+// fingerprints are bit-for-bit identical to the barrier reference path
+// (Options.Barrier) at every Parallelism setting, because
+//
+//  1. transfer completion order is deterministic in the discrete-event
+//     loop,
+//  2. each unit's results land in a pre-allocated per-unit slot, and
+//  3. all merging — cells, join stats, modeled seconds, synthetic row
+//     numbering — happens on the orchestration goroutine in a fixed
+//     order: node ascending, unit assignment order, emit order.
+//
+// See DESIGN.md §7 for the full determinism argument.
+package pipeline
+
+import (
+	"time"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/physical"
+	"shufflejoin/internal/shuffle"
+	"shufflejoin/internal/simnet"
+)
+
+// Stage is one phase of query execution. Stages run strictly in order on
+// the orchestration goroutine; a stage reads its inputs from the
+// QueryContext and writes its products back into it (and into
+// QueryContext.Report). A stage may use worker goroutines internally but
+// must merge their results deterministically before returning, and must
+// record spans and metrics only from the orchestration goroutine.
+type Stage interface {
+	Name() string
+	Run(qc *QueryContext) error
+}
+
+// DefaultStages returns the standard execution pipeline in order.
+func DefaultStages() []Stage {
+	return []Stage{LogicalPlan{}, SliceMap{}, PhysicalPlan{}, Align{}, Compare{}, Assemble{}}
+}
+
+// QueryContext is the shared state one query threads through its stages:
+// the immutable query inputs (cluster, sources, predicate, destination,
+// options) plus each stage's products. The observability trace rides in
+// Opt.Trace; stages retire spans into it as they finish, so a registered
+// obs.SpanSink sees the query's progress incrementally.
+type QueryContext struct {
+	Cluster     *cluster.Cluster
+	Left, Right *cluster.Distributed
+	Pred        join.Predicate
+	Out         *array.Schema // destination schema τ (may be nil / dimension-less)
+	Opt         *Options
+	Report      *Report
+
+	wallStart   time.Time
+	explainOnly bool // LogicalPlan stage: enumerate but do not select
+
+	// Stage products, in the order they are produced.
+	plans     []logical.Plan    // LogicalPlan: every valid plan, cheapest first
+	plan      *logical.Plan     // LogicalPlan: the chosen plan
+	spec      *shuffle.UnitSpec // SliceMap: join-unit geometry
+	ssl, ssr  *shuffle.SliceSet // SliceMap: per-side slice maps
+	prob      *physical.Problem // PhysicalPlan: cost-model problem instance
+	nodeUnits [][]int           // PhysicalPlan: units assigned to each node
+	transfers []simnet.Transfer // Align: the shuffle's network transfers
+	outArr    *array.Array      // Align: destination array (built pre-shuffle)
+	proj      *projector        // Align: output-cell projector
+	runner    *compareRunner    // Align: overlapped per-unit compare dispatcher
+	nodes     []nodeOut         // Compare: merged per-node compare products
+}
+
+// NewQueryContext prepares a context for one join execution. opt is
+// copied; stages normalize it in place.
+func NewQueryContext(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) *QueryContext {
+	o := opt
+	return &QueryContext{
+		Cluster:   c,
+		Left:      dl,
+		Right:     dr,
+		Pred:      pred,
+		Out:       out,
+		Opt:       &o,
+		Report:    &Report{},
+		wallStart: time.Now(),
+	}
+}
+
+// Execute runs the stages in order, stopping at the first error.
+func Execute(qc *QueryContext, stages []Stage) error {
+	for _, st := range stages {
+		if err := st.Run(qc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes τ = left ⋈ right over the cluster through the full
+// pipeline.
+func Run(c *cluster.Cluster, leftName, rightName string, pred join.Predicate, out *array.Schema, opt Options) (*Report, error) {
+	dl, err := c.Catalog.Lookup(leftName)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := c.Catalog.Lookup(rightName)
+	if err != nil {
+		return nil, err
+	}
+	return RunDistributed(c, dl, dr, pred, out, opt)
+}
+
+// RunDistributed is Run for already-resolved distributed arrays.
+func RunDistributed(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) (*Report, error) {
+	qc := NewQueryContext(c, dl, dr, pred, out, opt)
+	if err := Execute(qc, DefaultStages()); err != nil {
+		return nil, err
+	}
+	return qc.Report, nil
+}
+
+// Explanation describes the optimizer's view of a query without running
+// it: every valid logical plan with its modeled cost, cheapest first.
+type Explanation struct {
+	Selectivity float64
+	Units       string // join-unit description of the chosen plan
+	NumUnits    int
+	Plans       []logical.Plan
+}
+
+// Explain runs only the LogicalPlan stage: it enumerates and costs the
+// logical plans for a join without executing it.
+func Explain(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.Predicate, out *array.Schema, opt Options) (*Explanation, error) {
+	qc := NewQueryContext(c, dl, dr, pred, out, opt)
+	qc.explainOnly = true
+	if err := (LogicalPlan{}).Run(qc); err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		Selectivity: qc.Report.Selectivity,
+		Units:       qc.plans[0].Units.String(),
+		NumUnits:    qc.plans[0].NumUnits,
+		Plans:       qc.plans,
+	}, nil
+}

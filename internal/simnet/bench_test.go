@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -32,6 +33,31 @@ func BenchmarkSimulateFIFO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Simulate(cfg, trs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateFullScale exercises the event loop at the transfer
+// counts a `-scale full` expdriver run produces: 1024 join units, each
+// shipping up to k-1 remote slices on a k-node cluster. ROADMAP names this
+// sequential loop as the next candidate hot path; the CI simnet-bench job
+// records these numbers in BENCH_simnet.json so regressions (and any
+// future parallelization win) have a tracked baseline.
+func BenchmarkSimulateFullScale(b *testing.B) {
+	for _, k := range []int{4, 12} {
+		trs := benchTransfers(1024*(k-1), k)
+		for _, sched := range []struct {
+			name string
+			s    Scheduling
+		}{{"greedy", GreedyLocks}, {"fifo", FIFONoSkip}} {
+			cfg := Config{Nodes: k, PerCellTime: 1e-6, Scheduling: sched.s}
+			b.Run(fmt.Sprintf("%s/nodes=%d", sched.name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Simulate(cfg, trs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOnCompleteMatchesTimeline verifies the streaming callback sees every
+// network transfer exactly once with the same timings the Timeline records.
+func TestOnCompleteMatchesTimeline(t *testing.T) {
+	trs := []Transfer{
+		{From: 0, To: 1, Cells: 4, Tag: 0},
+		{From: 2, To: 1, Cells: 2, Tag: 1},
+		{From: 0, To: 2, Cells: 3, Tag: 2},
+		{From: 1, To: 1, Cells: 9, Tag: 3}, // local: no event
+		{From: 2, To: 0, Cells: 0, Tag: 4}, // empty: no event
+	}
+	var got []Event
+	cfg := Config{Nodes: 3, PerCellTime: 1, OnComplete: func(ev Event) { got = append(got, ev) }}
+	res, err := Simulate(cfg, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("OnComplete fired %d times, want 3 (local/empty transfers excluded)", len(got))
+	}
+	if len(res.Timeline) != len(got) {
+		t.Fatalf("timeline has %d events, callback saw %d", len(res.Timeline), len(got))
+	}
+	// Events arrive in dispatch order (non-decreasing start); the Timeline
+	// is sorted by start, so the multisets must match event-for-event after
+	// matching on Tag.
+	byTag := make(map[int]Event, len(res.Timeline))
+	for _, ev := range res.Timeline {
+		byTag[ev.Tag] = ev
+	}
+	for _, ev := range got {
+		want, ok := byTag[ev.Tag]
+		if !ok {
+			t.Fatalf("callback event tag %d missing from timeline", ev.Tag)
+		}
+		if ev != want {
+			t.Fatalf("callback event %+v != timeline event %+v", ev, want)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatalf("dispatch order regressed: event %d starts at %v after %v", i, got[i].Start, got[i-1].Start)
+		}
+	}
+}
+
+// TestOnCompleteDeterministicOrder checks the callback sequence is
+// bit-for-bit identical across runs for a randomized workload.
+func TestOnCompleteDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trs := make([]Transfer, 256)
+	for i := range trs {
+		trs[i] = Transfer{From: rng.Intn(6), To: rng.Intn(6), Cells: rng.Int63n(100), Tag: i}
+	}
+	run := func() []Event {
+		var evs []Event
+		cfg := Config{Nodes: 6, PerCellTime: 0.01, OnComplete: func(ev Event) { evs = append(evs, ev) }}
+		if _, err := Simulate(cfg, trs); err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs saw %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -49,6 +49,15 @@ type Config struct {
 	// value penalizes plans that fragment data into many tiny slices.
 	Latency    float64
 	Scheduling Scheduling
+	// OnComplete, when non-nil, is invoked synchronously from the event
+	// loop once per dispatched transfer, in dispatch order. Dispatch order
+	// is deterministic (ties broken by input position) and start times are
+	// non-decreasing, so a consumer sees transfers "complete" in the same
+	// order on every run — this is what lets the pipeline engine start a
+	// join unit's cell comparison the moment its last inbound slice lands,
+	// without a global alignment barrier and without losing determinism.
+	// The callback must not mutate the transfers slice.
+	OnComplete func(Event)
 }
 
 // Event records one completed transfer in the simulated timeline.
@@ -100,7 +109,8 @@ func (c Config) Validate(transfers []Transfer) error {
 
 // Simulate runs the data alignment phase for the given transfers and
 // returns the timing result. Transfers between a node and itself complete
-// instantly (local slices are never shipped). The simulation is fully
+// instantly (local slices are never shipped) and appear neither in the
+// Timeline nor in OnComplete callbacks. The simulation is fully
 // deterministic: ties are broken by sender id, then queue position.
 func Simulate(cfg Config, transfers []Transfer) (Result, error) {
 	if err := cfg.Validate(transfers); err != nil {
@@ -169,7 +179,11 @@ func Simulate(cfg Config, transfers []Transfer) (Result, error) {
 		if end > res.Makespan {
 			res.Makespan = end
 		}
-		res.Timeline = append(res.Timeline, Event{Transfer: tr, Start: bestStart, End: end})
+		ev := Event{Transfer: tr, Start: bestStart, End: end}
+		res.Timeline = append(res.Timeline, ev)
+		if cfg.OnComplete != nil {
+			cfg.OnComplete(ev)
+		}
 		// Remove the dispatched transfer, preserving order.
 		queues[bestSender] = append(queues[bestSender][:bestIdx], queues[bestSender][bestIdx+1:]...)
 		remaining--

@@ -7,9 +7,9 @@ import (
 
 	"shufflejoin/internal/aql"
 	"shufflejoin/internal/array"
-	"shufflejoin/internal/exec"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
 )
 
 // algoByName maps user-facing algorithm names.
@@ -26,28 +26,35 @@ func algoByName(name string) (join.Algorithm, error) {
 }
 
 // Result is the outcome of a query: the chosen plans, the phase timing
-// breakdown, and the materialized output cells.
+// breakdown, and the materialized output cells. Queries execute through
+// the staged pipeline engine (LogicalPlan → SliceMap → PhysicalPlan →
+// Align → Compare → Assemble; see internal/pipeline); each field's
+// comment names the stage its value comes from.
 type Result struct {
 	// Plan is the logical plan as an AFL expression, e.g.
-	// "redim(hashJoin(hash(A), hash(B)), C)".
+	// "redim(hashJoin(hash(A), hash(B)), C)" (LogicalPlan stage).
 	Plan string
-	// Algorithm is the cell-comparison algorithm used.
+	// Algorithm is the cell-comparison algorithm used (LogicalPlan stage).
 	Algorithm string
-	// Planner names the physical planner that assigned join units.
+	// Planner names the physical planner that assigned join units
+	// (PhysicalPlan stage).
 	Planner string
-	// Matches is the number of matched cell pairs (= output cells).
+	// Matches is the number of matched cell pairs (= output cells)
+	// (Compare stage).
 	Matches int64
-	// CellsMoved is the number of cells shipped during data alignment.
+	// CellsMoved is the number of cells shipped during data alignment
+	// (PhysicalPlan stage).
 	CellsMoved int64
 	// ClampedCells counts output cells whose coordinates fell outside the
 	// destination's dimension ranges and were clamped onto the boundary.
 	// Non-zero values signal a lossy store; WithStrictBounds turns them
-	// into errors instead.
+	// into errors instead (Assemble stage).
 	ClampedCells int64
 
 	// Modeled phase durations in seconds, as in the paper's figures:
-	// planning is real wall time; alignment is the simulated shuffle
-	// makespan; comparison is the slowest node's modeled time.
+	// planning is real wall time (PhysicalPlan stage); alignment is the
+	// simulated shuffle makespan (Align stage); comparison is the slowest
+	// node's modeled time (Compare stage).
 	PlanSeconds    float64
 	AlignSeconds   float64
 	CompareSeconds float64
@@ -56,13 +63,15 @@ type Result struct {
 	// Skew is the comparison phase's straggler ratio: the slowest node's
 	// modeled compare time over the mean (1 = perfectly balanced, 0 when
 	// no compare work exists). Multi-way queries report the ratio over
-	// per-node times summed across steps.
+	// per-node times summed across steps (Compare stage).
 	Skew float64
 	// StragglerNode is the node with the largest modeled compare time
-	// (lowest id on ties), or -1 when no compare work exists.
+	// (lowest id on ties), or -1 when no compare work exists (Compare
+	// stage).
 	StragglerNode int
 	// LockWaitSeconds is the total simulated time senders spent stalled on
-	// receiver write locks during data alignment — shuffle congestion.
+	// receiver write locks during data alignment — shuffle congestion
+	// (Align stage).
 	LockWaitSeconds float64
 
 	// OutputSchema is the destination schema literal.
@@ -83,7 +92,7 @@ type Result struct {
 	output *array.Array
 }
 
-func newResult(rep *exec.Report) *Result {
+func newResult(rep *pipeline.Report) *Result {
 	return &Result{
 		Plan:            rep.Logical.Describe(),
 		Algorithm:       rep.Logical.Algo.String(),

@@ -37,6 +37,7 @@ import (
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
+	"shufflejoin/internal/pipeline"
 	"shufflejoin/internal/simnet"
 	"shufflejoin/internal/storage"
 	"shufflejoin/internal/workload"
@@ -397,7 +398,7 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 	}
 	db.sealAll()
 
-	eo := exec.Options{
+	eo := pipeline.Options{
 		Planner:      plannerWithWorkers(cfg.planner, cfg.parallelism),
 		Scheduling:   cfg.scheduling,
 		Parallelism:  cfg.parallelism,
@@ -447,7 +448,7 @@ func (db *DB) Explain(q string, opts ...QueryOption) (*Explanation, error) {
 		}
 	}
 	db.sealAll()
-	eo := exec.Options{
+	eo := pipeline.Options{
 		Planner: cfg.planner,
 		Logical: logical.PlanOptions{Selectivity: cfg.selectivity},
 	}
@@ -521,7 +522,7 @@ type JoinOrderStep struct {
 // results in the database.
 func (db *DB) ExplainJoinOrder(q string) ([]JoinOrderStep, error) {
 	db.sealAll()
-	plan, err := aql.ExplainMulti(db.cluster, q, exec.Options{})
+	plan, err := aql.ExplainMulti(db.cluster, q, pipeline.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10]
+//	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10|beyond]
 //	          [-scale small|full] [-seed N] [-budget DUR]
 //	          [-trace FILE] [-metrics]
 //
 // "full" scale uses the paper's decision-space parameters (1024 join
 // units, 4-node default cluster, 2–12 node scale-out) with cell counts
 // scaled to run on one machine; "small" runs everything in a few seconds.
+//
+// "beyond" is the beyond-paper scale-out — merge join on 16–64 nodes with
+// 100k+ simulated transfers per query at the top end — and is opt-in: it
+// runs only when named explicitly, never as part of -exp all.
 //
 // -trace writes every pipeline query the selected experiments execute
 // (fig5/fig6, fig9, adversarial) into one Chrome trace-event JSON file,
@@ -29,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10)")
+		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10, beyond; beyond is opt-in and excluded from all)")
 		scale       = flag.String("scale", "full", "experiment scale: small or full")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		budget      = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
@@ -171,6 +175,18 @@ func main() {
 		bench.RenderPhys(os.Stdout, "Figure 10: scale-out of merge join (skew a=1.0)", "nodes", rows, bench.GroupByNodes)
 		return nil
 	})
+	if *exp == "beyond" { // opt-in only: not part of -exp all
+		bcfg := cfg
+		if *scale == "full" {
+			bcfg.Units = 0 // let Beyond pick its doubled-unit default
+		}
+		rows, err := bench.Beyond(bcfg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beyond: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderPhys(os.Stdout, "Beyond-paper scale-out: merge join, 16-64 nodes (skew a=1.0)", "nodes", rows, bench.GroupByNodes)
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

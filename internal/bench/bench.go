@@ -101,8 +101,11 @@ type PhysMeasurement struct {
 }
 
 // runModeled plans and simulates one query at the physical layer: slice
-// statistics in, phase timings out.
-func runModeled(cfg Config, algo join.Algorithm, left, right [][]int64, name string, planner physical.Planner) (PhysMeasurement, error) {
+// statistics in, phase timings out. The caller passes a simnet.Sim reused
+// across the queries of a sweep, so the alignment simulation runs
+// allocation-free in steady state; only scalars are taken from the
+// simulation Result, which is invalidated by the next call.
+func runModeled(cfg Config, algo join.Algorithm, left, right [][]int64, name string, planner physical.Planner, sim *simnet.Sim) (PhysMeasurement, error) {
 	pr, err := physical.NewProblem(cfg.Nodes, algo, left, right, cfg.Params)
 	if err != nil {
 		return PhysMeasurement{}, err
@@ -121,7 +124,7 @@ func runModeled(cfg Config, algo join.Algorithm, left, right [][]int64, name str
 			}
 		}
 	}
-	align, err := simnet.Simulate(simnet.Config{
+	align, err := sim.Simulate(simnet.Config{
 		Nodes:       cfg.Nodes,
 		PerCellTime: cfg.Params.Transfer,
 		Scheduling:  cfg.Scheduling,
@@ -174,11 +177,12 @@ func SkewSweep(cfg Config, algo join.Algorithm, alphas []float64) ([]PhysMeasure
 		alphas = []float64{0, 0.5, 1.0, 1.5, 2.0}
 	}
 	planners := cfg.Planners()
+	var sim simnet.Sim
 	var out []PhysMeasurement
 	for _, alpha := range alphas {
 		left, right := slicesFor(cfg, algo, alpha)
 		for _, name := range PlannerNames {
-			m, err := runModeled(cfg, algo, left, right, name, planners[name])
+			m, err := runModeled(cfg, algo, left, right, name, planners[name], &sim)
 			if err != nil {
 				return nil, err
 			}
@@ -211,6 +215,7 @@ func Fig10(cfg Config, nodeCounts []int) ([]PhysMeasurement, error) {
 	if len(nodeCounts) == 0 {
 		nodeCounts = []int{2, 4, 6, 8, 10, 12}
 	}
+	var sim simnet.Sim
 	var out []PhysMeasurement
 	for _, k := range nodeCounts {
 		kcfg := cfg
@@ -218,7 +223,46 @@ func Fig10(cfg Config, nodeCounts []int) ([]PhysMeasurement, error) {
 		planners := kcfg.Planners()
 		left, right := slicesFor(kcfg, join.Merge, 1.0)
 		for _, name := range PlannerNames {
-			m, err := runModeled(kcfg, join.Merge, left, right, name, planners[name])
+			m, err := runModeled(kcfg, join.Merge, left, right, name, planners[name], &sim)
+			if err != nil {
+				return nil, err
+			}
+			m.Alpha = 1.0
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// BeyondPlanners is the planner subset the beyond-paper scale-out runs:
+// the baseline and the min-bandwidth heuristic. The solver-based planners
+// are excluded because at these cluster sizes the experiment stresses the
+// simulated alignment of 100k+ transfers, not solver scaling.
+var BeyondPlanners = []string{"B", "MBH"}
+
+// Beyond pushes the Figure 10 scale-out past the paper's 12-node ceiling:
+// merge join at α=1.0 on 16, 32, and 64 nodes with a doubled unit count,
+// which at k=64 produces over 100k simulated transfers per query — the
+// regime the indexed simnet scheduler was built for, where the original
+// rescan-everything dispatch loop took minutes per query. Opt-in via
+// `expdriver -exp beyond`; it is not part of `-exp all`.
+func Beyond(cfg Config, nodeCounts []int) ([]PhysMeasurement, error) {
+	if cfg.Units == 0 {
+		cfg.Units = 2048
+	}
+	cfg = cfg.withDefaults()
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{16, 32, 64}
+	}
+	var sim simnet.Sim
+	var out []PhysMeasurement
+	for _, k := range nodeCounts {
+		kcfg := cfg
+		kcfg.Nodes = k
+		planners := kcfg.Planners()
+		left, right := slicesFor(kcfg, join.Merge, 1.0)
+		for _, name := range BeyondPlanners {
+			m, err := runModeled(kcfg, join.Merge, left, right, name, planners[name], &sim)
 			if err != nil {
 				return nil, err
 			}

@@ -171,6 +171,39 @@ func TestFig10Shapes(t *testing.T) {
 	}
 }
 
+func TestBeyondShapes(t *testing.T) {
+	// Scaled-down beyond-paper sweep: the full 16–64 node version is
+	// opt-in via expdriver. 16 nodes already exercises past-paper scale.
+	rows, err := Beyond(smallCfg(), []int{13, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(BeyondPlanners) {
+		t.Fatalf("%d rows, want %d", len(rows), 2*len(BeyondPlanners))
+	}
+	for _, m := range rows {
+		if m.AlignSec <= 0 || m.CompSec <= 0 {
+			t.Errorf("%s@%d: degenerate phase timings %+v", m.Planner, m.Nodes, m)
+		}
+	}
+	// The skew-aware heuristic must keep beating the baseline out here.
+	for _, k := range []int{13, 16} {
+		var b, mbh PhysMeasurement
+		for _, m := range rows {
+			if m.Nodes == k {
+				if m.Planner == "B" {
+					b = m
+				} else if m.Planner == "MBH" {
+					mbh = m
+				}
+			}
+		}
+		if execTotal(mbh) >= execTotal(b) {
+			t.Errorf("k=%d: MBH (%v) did not beat baseline (%v)", k, execTotal(mbh), execTotal(b))
+		}
+	}
+}
+
 func smallReal() RealConfig {
 	return RealConfig{AISCells: 30_000, MODISCells: 45_000, ILPBudget: 100 * time.Millisecond, Seed: 1}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"shufflejoin/internal/join"
+	"shufflejoin/internal/simnet"
 	"shufflejoin/internal/stats"
 )
 
@@ -26,12 +27,13 @@ func Table2(cfg Config) ([]Table2Row, stats.LinearFit, error) {
 	cfg = cfg.withDefaults()
 	planners := cfg.Planners()
 	costBased := []string{"ILP", "ILP-C", "Tabu"}
+	var sim simnet.Sim
 	var rows []Table2Row
 	var xs, ys []float64
 	for _, alpha := range []float64{1.0, 1.5, 2.0} {
 		left, right := slicesFor(cfg, join.Hash, alpha)
 		for _, name := range costBased {
-			m, err := runModeled(cfg, join.Hash, left, right, name, planners[name])
+			m, err := runModeled(cfg, join.Hash, left, right, name, planners[name], &sim)
 			if err != nil {
 				return nil, stats.LinearFit{}, err
 			}

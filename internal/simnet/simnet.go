@@ -13,12 +13,17 @@
 // sender is free it walks its outgoing slice queue in order and starts the
 // first transfer whose destination lock is free; if every destination is
 // locked it polls, waking when the earliest needed lock releases.
+//
+// Dispatch is resolved by an indexed event-driven scheduler (see sim.go
+// and DESIGN.md §8): per-sender ring queues bucketed by destination, a
+// min-heap of per-sender candidate dispatches keyed by (start, input
+// position), and per-destination waiter buckets so a lock release
+// re-evaluates only the senders blocked on it. The original rescan-
+// everything loop is retained as simulateReference and the two are held
+// bit-for-bit equivalent by differential and fuzz tests.
 package simnet
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Transfer is one slice movement: Cells cells from node From to node To.
 // Tag carries caller context (e.g. a join unit id) through to the timeline.
@@ -46,7 +51,11 @@ type Config struct {
 	PerCellTime float64 // seconds to transmit one cell (cost parameter t)
 	// Latency is a fixed per-transfer setup time (connection + first-byte
 	// delay). Zero matches the paper's pure-bandwidth model; a positive
-	// value penalizes plans that fragment data into many tiny slices.
+	// value penalizes plans that fragment data into many tiny slices. With
+	// a positive Latency even a zero-cell remote transfer is simulated —
+	// it occupies its sender and its receiver's write lock for the setup
+	// time; with Latency zero, zero-cell transfers cost nothing and are
+	// dropped like local ones.
 	Latency    float64
 	Scheduling Scheduling
 	// OnComplete, when non-nil, is invoked synchronously from the event
@@ -82,7 +91,22 @@ type Result struct {
 	// up in the makespan.
 	RecvLockWait []float64
 	LockWaitTime float64 // Σ_j RecvLockWait[j]
-	Timeline     []Event
+	// Timeline holds every simulated transfer in dispatch order, which is
+	// also non-decreasing Start order by construction.
+	Timeline []Event
+}
+
+// Clone returns a deep copy of the result, with its own backing arrays.
+// Use it to retain a Result produced by a reused Sim instance past the
+// instance's next Simulate call.
+func (r Result) Clone() Result {
+	r.SendBusy = append([]float64(nil), r.SendBusy...)
+	r.RecvBusy = append([]float64(nil), r.RecvBusy...)
+	r.CellsSent = append([]int64(nil), r.CellsSent...)
+	r.CellsRecv = append([]int64(nil), r.CellsRecv...)
+	r.RecvLockWait = append([]float64(nil), r.RecvLockWait...)
+	r.Timeline = append([]Event(nil), r.Timeline...)
+	return r
 }
 
 // Validate checks the configuration and transfers.
@@ -110,122 +134,20 @@ func (c Config) Validate(transfers []Transfer) error {
 // Simulate runs the data alignment phase for the given transfers and
 // returns the timing result. Transfers between a node and itself complete
 // instantly (local slices are never shipped) and appear neither in the
-// Timeline nor in OnComplete callbacks. The simulation is fully
-// deterministic: ties are broken by sender id, then queue position.
+// Timeline nor in OnComplete callbacks; the same applies to zero-cell
+// transfers unless a positive Config.Latency charges their connection
+// setup. The simulation is fully deterministic: ties are broken by the
+// transfer's position in the input.
+//
+// Simulate allocates a fresh Result on every call. Callers running many
+// simulations back to back (the pipeline's alignment stage, the bench
+// sweeps) should reuse a Sim instance instead, which runs allocation-free
+// in steady state.
 func Simulate(cfg Config, transfers []Transfer) (Result, error) {
-	if err := cfg.Validate(transfers); err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		SendBusy:     make([]float64, cfg.Nodes),
-		RecvBusy:     make([]float64, cfg.Nodes),
-		CellsSent:    make([]int64, cfg.Nodes),
-		CellsRecv:    make([]int64, cfg.Nodes),
-		RecvLockWait: make([]float64, cfg.Nodes),
-	}
-
-	// Build per-sender queues preserving input order. seq records each
-	// transfer's global input position, used to break start-time ties
-	// deterministically.
-	queues := make([][]queued, cfg.Nodes)
-	remaining := 0
-	for n, tr := range transfers {
-		if tr.From == tr.To || tr.Cells == 0 {
-			continue // local or empty: no network work
-		}
-		queues[tr.From] = append(queues[tr.From], queued{Transfer: tr, seq: n})
-		remaining++
-	}
-
-	senderFree := make([]float64, cfg.Nodes) // when each NIC may transmit again
-	recvFree := make([]float64, cfg.Nodes)   // when each receiver's write lock frees
-
-	for remaining > 0 {
-		// Choose the globally earliest feasible (sender, transfer) start,
-		// breaking ties by the transfer's position in the input.
-		bestSender, bestIdx, bestSeq := -1, -1, 0
-		bestStart := 0.0
-		bestPolled := false
-		for i := 0; i < cfg.Nodes; i++ {
-			q := queues[i]
-			if len(q) == 0 {
-				continue
-			}
-			idx, start, polled := nextForSender(cfg.Scheduling, q, senderFree[i], recvFree)
-			seq := q[idx].seq
-			if bestSender == -1 || start < bestStart || (start == bestStart && seq < bestSeq) {
-				bestSender, bestIdx, bestSeq, bestStart, bestPolled = i, idx, seq, start, polled
-			}
-		}
-		tr := queues[bestSender][bestIdx].Transfer
-		if bestPolled {
-			res.LockWaits++
-			if wait := bestStart - senderFree[bestSender]; wait > 0 {
-				res.RecvLockWait[tr.To] += wait
-				res.LockWaitTime += wait
-			}
-		}
-		if bestIdx > 0 {
-			res.SkippedSends++
-		}
-		dur := cfg.Latency + float64(tr.Cells)*cfg.PerCellTime
-		end := bestStart + dur
-		senderFree[bestSender] = end
-		recvFree[tr.To] = end
-		res.SendBusy[tr.From] += dur
-		res.RecvBusy[tr.To] += dur
-		res.CellsSent[tr.From] += tr.Cells
-		res.CellsRecv[tr.To] += tr.Cells
-		if end > res.Makespan {
-			res.Makespan = end
-		}
-		ev := Event{Transfer: tr, Start: bestStart, End: end}
-		res.Timeline = append(res.Timeline, ev)
-		if cfg.OnComplete != nil {
-			cfg.OnComplete(ev)
-		}
-		// Remove the dispatched transfer, preserving order.
-		queues[bestSender] = append(queues[bestSender][:bestIdx], queues[bestSender][bestIdx+1:]...)
-		remaining--
-	}
-	sort.SliceStable(res.Timeline, func(i, j int) bool { return res.Timeline[i].Start < res.Timeline[j].Start })
-	return res, nil
-}
-
-// queued is a Transfer annotated with its global input position.
-type queued struct {
-	Transfer
-	seq int
-}
-
-// nextForSender picks which queued transfer the sender dispatches next and
-// when it can start. With GreedyLocks it takes the first transfer whose
-// destination lock is free when the sender is ready; if none, it polls
-// until the earliest needed lock releases. With FIFONoSkip it always takes
-// the head of the queue.
-func nextForSender(s Scheduling, q []queued, senderReady float64, recvFree []float64) (idx int, start float64, polled bool) {
-	if s == FIFONoSkip {
-		head := q[0]
-		start = senderReady
-		if recvFree[head.To] > start {
-			start = recvFree[head.To]
-		}
-		return 0, start, recvFree[head.To] > senderReady
-	}
-	// GreedyLocks: first destination free at senderReady wins.
-	for i, tr := range q {
-		if recvFree[tr.To] <= senderReady {
-			return i, senderReady, false
-		}
-	}
-	// All destinations locked: poll for the earliest release.
-	bestIdx, bestAt := 0, recvFree[q[0].To]
-	for i := 1; i < len(q); i++ {
-		if at := recvFree[q[i].To]; at < bestAt {
-			bestIdx, bestAt = i, at
-		}
-	}
-	return bestIdx, bestAt, true
+	// A throwaway instance: its buffers become the returned Result, so no
+	// copy is needed and the result is independently owned.
+	var s Sim
+	return s.Simulate(cfg, transfers)
 }
 
 // MaxSendRecv returns max over nodes of total send time and of total

@@ -3,9 +3,17 @@
 //
 // Usage:
 //
-//	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10|beyond]
+//	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10|planquality|beyond]
 //	          [-scale small|full] [-seed N] [-budget DUR]
-//	          [-trace FILE] [-metrics]
+//	          [-trace FILE] [-metrics] [-json FILE] [-gate]
+//
+// "planquality" is the greedy-vs-ILP calibration sweep behind the plan
+// cache's regret policy: per Zipf skew level and join algorithm it
+// reports planning wall-times (greedy fast path, full ILP, plan-cache
+// hit) and the makespan ratio of the two assignments. -json writes the
+// rows plus summary as JSON; -gate exits non-zero when the sweep
+// violates the acceptance criteria (kept greedy ratio <= 1.10, cache
+// hit <= 5% of the cold full plan).
 //
 // "full" scale uses the paper's decision-space parameters (1024 join
 // units, 4-node default cluster, 2–12 node scale-out) with cell counts
@@ -22,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10, beyond; beyond is opt-in and excluded from all)")
+		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10, planquality, beyond; beyond is opt-in and excluded from all)")
 		scale       = flag.String("scale", "full", "experiment scale: small or full")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		budget      = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
@@ -42,6 +51,8 @@ func main() {
 		calibrate   = flag.Bool("calibrate", false, "measure the cost-model parameters m, b, p on this machine instead of using defaults")
 		traceFile   = flag.String("trace", "", "write the pipeline spans of every executed query as Chrome trace-event JSON to this file (load in Perfetto)")
 		metrics     = flag.Bool("metrics", false, "print the accumulated query metric registry as JSON")
+		jsonFile    = flag.String("json", "", "planquality: write the sweep rows and summary as JSON to this file")
+		gate        = flag.Bool("gate", false, "planquality: exit non-zero when the sweep violates the plan-quality acceptance criteria (greedy makespan ratio, cache-hit budget)")
 	)
 	flag.Parse()
 
@@ -173,6 +184,36 @@ func main() {
 			return err
 		}
 		bench.RenderPhys(os.Stdout, "Figure 10: scale-out of merge join (skew a=1.0)", "nodes", rows, bench.GroupByNodes)
+		return nil
+	})
+	run("planquality", func() error {
+		rows, err := bench.PlanQuality(cfg, nil)
+		if err != nil {
+			return err
+		}
+		bench.RenderPlanQuality(os.Stdout, rows)
+		if *jsonFile != "" {
+			payload := struct {
+				Experiment string                   `json:"experiment"`
+				Rows       []bench.PlanQualityRow   `json:"rows"`
+				Summary    bench.PlanQualitySummary `json:"summary"`
+			}{"planquality", rows, bench.SummarizePlanQuality(rows)}
+			data, err := json.MarshalIndent(payload, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonFile, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("plan-quality JSON written to %s\n\n", *jsonFile)
+		}
+		if *gate {
+			if err := bench.PlanQualityGate(rows); err != nil {
+				return err
+			}
+			fmt.Printf("plan-quality gate passed: kept ratios <= %.2f, cache hits <= %.0f%% of cold plans\n\n",
+				bench.MakespanRatioLimit, bench.CacheHitBudgetFrac*100)
+		}
 		return nil
 	})
 	if *exp == "beyond" { // opt-in only: not part of -exp all

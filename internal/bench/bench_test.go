@@ -447,3 +447,45 @@ func TestRenderRealAndLogical(t *testing.T) {
 		t.Errorf("AlignReduction(nil) = %v", r)
 	}
 }
+
+func TestPlanQualityShapes(t *testing.T) {
+	rows, err := PlanQuality(smallCfg(), []float64{0, 1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*2 { // three skew levels x two join algorithms
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Regret < 0 {
+			t.Errorf("a=%.1f %s: regret %v < 0 (greedy cost below the lower bound)", r.Alpha, r.Algo, r.Regret)
+		}
+		if r.FellBack != (r.Regret > 0.10) {
+			t.Errorf("a=%.1f %s: FellBack=%v inconsistent with regret %v", r.Alpha, r.Algo, r.FellBack, r.Regret)
+		}
+		if r.GreedyMakespanSec <= 0 || r.FullMakespanSec <= 0 {
+			t.Errorf("a=%.1f %s: non-positive makespans %v / %v", r.Alpha, r.Algo, r.GreedyMakespanSec, r.FullMakespanSec)
+		}
+		// The greedy fast path must be decisively cheaper to run than the
+		// budgeted ILP, and a cache hit cheaper still.
+		if r.GreedyPlanMicros > r.FullPlanMicros/2 {
+			t.Errorf("a=%.1f %s: greedy planning %vus not well under full %vus", r.Alpha, r.Algo, r.GreedyPlanMicros, r.FullPlanMicros)
+		}
+	}
+	// The acceptance criteria the CI gate enforces must hold at test scale.
+	if err := PlanQualityGate(rows); err != nil {
+		t.Error(err)
+	}
+	if err := PlanQualityGate(nil); err == nil {
+		t.Error("empty sweep should fail the gate")
+	}
+	s := SummarizePlanQuality(rows)
+	if s.Fallbacks == 0 && s.MaxRatioKept == 0 {
+		t.Error("summary is empty")
+	}
+	var buf bytes.Buffer
+	RenderPlanQuality(&buf, rows)
+	if !strings.Contains(buf.String(), "fallback") {
+		t.Error("render output incomplete")
+	}
+}

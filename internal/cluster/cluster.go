@@ -7,9 +7,12 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"shufflejoin/internal/array"
+	"shufflejoin/internal/stats"
 )
 
 // NodeID identifies a cluster node. Nodes are numbered 0..K-1; the
@@ -24,21 +27,163 @@ type Placement map[array.ChunkKey]NodeID
 // Distributed is an array partitioned over the cluster: the logical array
 // plus the chunk-to-node placement. The chunks themselves stay in the
 // Array; nodes address their local partition through the placement.
+//
+// A Distributed is treated as immutable once queried (the facade seals
+// arrays before loading them): derived statistics — the per-node chunk
+// index, the data fingerprint, and attribute histograms — are computed
+// once on first use and cached for the array's lifetime.
 type Distributed struct {
 	Array     *array.Array
 	Placement Placement
+
+	statsOnce sync.Once
+	perNode   [][]array.ChunkKey // node -> local chunk keys, C-order
+	fprint    uint64             // digest of grid, per-chunk cells, placement
+	skewHist  *stats.Histogram   // per-chunk cell-count distribution
+
+	histMu    sync.Mutex
+	attrHists map[string]*stats.Histogram
+}
+
+// buildStats derives the per-node chunk index, the per-chunk skew
+// histogram, and the data fingerprint in one pass over the sorted keys.
+// It runs exactly once per Distributed.
+func (d *Distributed) buildStats() {
+	d.statsOnce.Do(func() {
+		nodes := 0
+		for _, n := range d.Placement {
+			if n+1 > nodes {
+				nodes = n + 1
+			}
+		}
+		d.perNode = make([][]array.ChunkKey, nodes)
+
+		var minCells, maxCells float64
+		first := true
+		keys := d.Array.SortedKeys()
+		sizes := make([]float64, 0, len(keys))
+		for _, k := range keys {
+			cells := float64(d.Array.Chunks[k].Len())
+			sizes = append(sizes, cells)
+			if first || cells < minCells {
+				minCells = cells
+			}
+			if first || cells > maxCells {
+				maxCells = cells
+			}
+			first = false
+		}
+		if first {
+			minCells, maxCells = 0, 0
+		}
+		h := stats.NewHistogram(minCells, maxCells, 64)
+
+		const prime64 = 1099511628211
+		f := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				f ^= v & 0xff
+				f *= prime64
+				v >>= 8
+			}
+		}
+		mixStr := func(s string) {
+			for i := 0; i < len(s); i++ {
+				f ^= uint64(s[i])
+				f *= prime64
+			}
+		}
+		mixStr(d.Array.Schema.String())
+		mix(uint64(len(keys)))
+		for i, k := range keys {
+			node, ok := d.Placement[k]
+			if ok && node >= 0 && node < nodes {
+				d.perNode[node] = append(d.perNode[node], k)
+			}
+			h.Add(sizes[i])
+			mixStr(string(k))
+			mix(uint64(sizes[i]))
+			mix(uint64(node))
+		}
+		d.skewHist = h
+		mix(h.Fingerprint())
+		d.fprint = f
+	})
 }
 
 // LocalChunks returns the chunk keys hosted by the given node, in
-// deterministic (C-order) sequence.
+// deterministic (C-order) sequence. The per-node index is built once per
+// Distributed (first call) instead of rescanning every sorted key per
+// call; the returned slice is shared and must not be modified.
 func (d *Distributed) LocalChunks(node NodeID) []array.ChunkKey {
-	var keys []array.ChunkKey
-	for _, k := range d.Array.SortedKeys() {
-		if d.Placement[k] == node {
-			keys = append(keys, k)
-		}
+	d.buildStats()
+	if node < 0 || node >= len(d.perNode) {
+		return nil
 	}
-	return keys
+	return d.perNode[node]
+}
+
+// DataFingerprint digests everything physical planning depends on about
+// the stored data: the schema string, the chunk grid (sorted keys), each
+// chunk's cell count, the chunk-to-node placement, and the chunk-size
+// skew histogram's fingerprint. Two Distributed values with equal
+// fingerprints present the same planning problem; a re-ingest under a
+// different skew profile changes per-chunk cell counts and therefore the
+// fingerprint. Computed once and cached.
+func (d *Distributed) DataFingerprint() uint64 {
+	d.buildStats()
+	return d.fprint
+}
+
+// SkewHistogram returns the distribution of per-chunk cell counts — the
+// skew profile of the stored data (computed once, shared; do not modify).
+func (d *Distributed) SkewHistogram() *stats.Histogram {
+	d.buildStats()
+	return d.skewHist
+}
+
+// AttrHistogram returns a 64-bucket equi-width histogram of the named
+// attribute's values — the statistic the paper's engine keeps in its
+// catalog, used for join-dimension inference and selectivity estimation.
+// Nil for unknown attributes and for attributes with no finite values
+// (string columns have no numeric histogram either, but their AsFloat is
+// 0, so they histogram degenerately; callers filter by type). Histograms
+// are computed on first request and cached per attribute, so per-query
+// planning cost does not include a data scan.
+func (d *Distributed) AttrHistogram(attrName string) *stats.Histogram {
+	ai := d.Array.Schema.AttrIndex(attrName)
+	if ai < 0 {
+		return nil
+	}
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
+	if h, ok := d.attrHists[attrName]; ok {
+		return h
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
+		v := attrs[ai].AsFloat()
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		return true
+	})
+	var h *stats.Histogram
+	if lo <= hi {
+		h = stats.NewHistogram(lo, hi, 64)
+		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
+			h.Add(attrs[ai].AsFloat())
+			return true
+		})
+	}
+	if d.attrHists == nil {
+		d.attrHists = make(map[string]*stats.Histogram)
+	}
+	d.attrHists[attrName] = h
+	return h
 }
 
 // CellsOnNode returns the number of cells of the array hosted by each node.

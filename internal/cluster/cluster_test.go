@@ -143,3 +143,93 @@ func TestNewRejectsNonPositive(t *testing.T) {
 		t.Error("New(0) should fail")
 	}
 }
+
+// localChunksScan is the pre-index reference implementation of
+// LocalChunks: rescan every sorted key per call.
+func localChunksScan(d *Distributed, node NodeID) []array.ChunkKey {
+	var keys []array.ChunkKey
+	for _, k := range d.Array.SortedKeys() {
+		if d.Placement[k] == node {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestLocalChunksIndexMatchesScan(t *testing.T) {
+	a := gridArray(t, 16, 4)
+	for _, policy := range []PlacementPolicy{RoundRobin, HashChunks} {
+		d := Distribute(a, 3, policy)
+		for node := 0; node < 3; node++ {
+			want := localChunksScan(d, node)
+			got := d.LocalChunks(node)
+			if len(got) != len(want) {
+				t.Fatalf("policy %v node %d: %d chunks, want %d", policy, node, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("policy %v node %d chunk %d: %s, want %s (C-order must be preserved)",
+						policy, node, i, got[i], want[i])
+				}
+			}
+		}
+		// Nodes outside the placement have no chunks, as with the scan.
+		if got := d.LocalChunks(7); got != nil {
+			t.Errorf("LocalChunks(7) = %v, want nil", got)
+		}
+		if got := d.LocalChunks(-1); got != nil {
+			t.Errorf("LocalChunks(-1) = %v, want nil", got)
+		}
+	}
+}
+
+func TestDataFingerprintDistinguishesDataAndPlacement(t *testing.T) {
+	a := gridArray(t, 16, 4)
+	d1 := Distribute(a, 4, RoundRobin)
+	d2 := Distribute(a, 4, RoundRobin)
+	if d1.DataFingerprint() != d2.DataFingerprint() {
+		t.Error("same array, same placement: fingerprints differ")
+	}
+	if d1.DataFingerprint() != d1.DataFingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+	// Different placement of the same cells.
+	d3 := Distribute(a, 4, HashChunks)
+	if d1.DataFingerprint() == d3.DataFingerprint() {
+		t.Error("different placements share a fingerprint")
+	}
+	// Different data: same grid, one cell missing, so one chunk's cell
+	// count — and with it the skew profile — changes.
+	b := array.MustNew(a.Schema)
+	skipped := false
+	a.Scan(func(coords []int64, attrs []array.Value) bool {
+		if !skipped && coords[0] == 1 && coords[1] == 1 {
+			skipped = true
+			return true
+		}
+		b.MustPut(coords, attrs)
+		return true
+	})
+	d4 := Distribute(b, 4, RoundRobin)
+	if d1.DataFingerprint() == d4.DataFingerprint() {
+		t.Error("different per-chunk cell counts share a fingerprint")
+	}
+}
+
+func TestAttrHistogramCachedAndCorrect(t *testing.T) {
+	a := gridArray(t, 8, 4)
+	d := Distribute(a, 2, RoundRobin)
+	h := d.AttrHistogram("v")
+	if h == nil {
+		t.Fatal("AttrHistogram(v) = nil")
+	}
+	if h.Total != a.CellCount() {
+		t.Errorf("histogram Total = %d, want %d", h.Total, a.CellCount())
+	}
+	if h2 := d.AttrHistogram("v"); h2 != h {
+		t.Error("second AttrHistogram call rebuilt the histogram instead of caching")
+	}
+	if d.AttrHistogram("nope") != nil {
+		t.Error("unknown attribute should have no histogram")
+	}
+}

@@ -195,6 +195,43 @@ func (pr *Problem) accumulate(a Assignment, send, recv []int64, comp []float64) 
 	}
 }
 
+// LowerBound returns a bound no assignment's Equation-8 cost can beat,
+// from two independent relaxations. Comparison: the worst per-node sum of
+// C_i is at least the perfectly balanced share ΣC_i/K and at least the
+// single largest C_i. Alignment: unit i lands on exactly one node, so at
+// least S_i − max_j s_ij of its cells cross the network into that node;
+// the worst per-node receive count is therefore at least the balanced
+// share Σ_i minMoved_i / K and at least the largest single minMoved_i.
+// Each relaxation bounds its phase for every feasible assignment, so the
+// sum bounds the total. The bound is exact on uniform data (everything
+// balances) and stays tight under skew, where the max-terms dominate —
+// which is what makes it usable as the denominator in the plan policy's
+// predicted-regret test.
+func LowerBound(pr *Problem) float64 {
+	var compSum, compMax float64
+	var movedSum, movedMax int64
+	for i := 0; i < pr.N; i++ {
+		compSum += pr.Comp[i]
+		if pr.Comp[i] > compMax {
+			compMax = pr.Comp[i]
+		}
+		minMoved := pr.UnitTotal[i] - pr.Sizes[i][argmax(pr.Sizes[i])]
+		movedSum += minMoved
+		if minMoved > movedMax {
+			movedMax = minMoved
+		}
+	}
+	compLB := compSum / float64(pr.K)
+	if compMax > compLB {
+		compLB = compMax
+	}
+	recvLB := float64(movedSum) / float64(pr.K)
+	if m := float64(movedMax); m > recvLB {
+		recvLB = m
+	}
+	return recvLB*pr.Params.Transfer + compLB
+}
+
 // CellsMoved returns the total cells a plan ships over the network.
 func (pr *Problem) CellsMoved(a Assignment) int64 {
 	var moved int64

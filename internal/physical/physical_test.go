@@ -455,3 +455,86 @@ func TestUniformDataAllPlannersComparable(t *testing.T) {
 		}
 	}
 }
+
+func TestLowerBoundHoldsForAllPlanners(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		algo := join.Merge
+		if seed%2 == 0 {
+			algo = join.Hash
+		}
+		pr := randProblem(rng, rng.Intn(30)+1, rng.Intn(5)+1, algo)
+		lb := LowerBound(pr)
+		for _, pl := range append(allPlanners(), GreedyPlanner{}) {
+			res, err := pl.Plan(pr)
+			if err != nil {
+				return false
+			}
+			if res.Model.Total < lb-1e-9 {
+				t.Logf("%s: cost %v below lower bound %v", pl.Name(), res.Model.Total, lb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerBoundExactOnOptimal(t *testing.T) {
+	// On a tiny instance the exhaustive ILP optimum must sit at or above
+	// the bound, and on perfectly uniform local data (nothing to move,
+	// identical unit costs, N a multiple of K) exactly on it.
+	sizes := [][]int64{{8, 0}, {0, 8}, {8, 0}, {0, 8}}
+	pr := mkProblem(t, 2, join.Merge, sizes)
+	res, err := ILPPlanner{Budget: time.Second}.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("instance too small not to solve optimally")
+	}
+	lb := LowerBound(pr)
+	if res.Model.Total < lb-1e-9 {
+		t.Errorf("optimum %v below bound %v", res.Model.Total, lb)
+	}
+	if math.Abs(res.Model.Total-lb) > 1e-9 {
+		t.Errorf("uniform instance: optimum %v != bound %v", res.Model.Total, lb)
+	}
+}
+
+func TestGreedyPlannerNeverWorseThanMBH(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		pr := randProblem(rng, 40, 4, join.Hash)
+		mbh, _ := MinBandwidthPlanner{}.Plan(pr)
+		greedy, err := GreedyPlanner{}.Plan(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Planner != "Greedy" {
+			t.Fatalf("Planner = %q", greedy.Planner)
+		}
+		if greedy.Model.Total > mbh.Model.Total+1e-9 {
+			t.Errorf("trial %d: greedy %v worse than its MBH seed %v",
+				trial, greedy.Model.Total, mbh.Model.Total)
+		}
+		if !pr.Valid(greedy.Assignment) {
+			t.Fatalf("trial %d: invalid assignment", trial)
+		}
+	}
+}
+
+func TestGreedyPlannerDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pr := randProblem(rng, 64, 6, join.Merge)
+	seq, _ := GreedyPlanner{Workers: 1}.Plan(pr)
+	par8, _ := GreedyPlanner{Workers: 8}.Plan(pr)
+	if !reflect.DeepEqual(seq.Assignment, par8.Assignment) {
+		t.Error("greedy assignment depends on Workers")
+	}
+	if seq.Model != par8.Model {
+		t.Errorf("greedy cost differs: %v vs %v", seq.Model, par8.Model)
+	}
+}

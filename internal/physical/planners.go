@@ -111,6 +111,41 @@ func argmax(row []int64) int {
 	return best
 }
 
+// GreedyPlanner is the fast-path physical planner: the center-of-gravity
+// seed (minimum bandwidth, Equation 9) polished by a bounded number of
+// Tabu rebalancing sweeps — one by default — and no ILP search. Planning
+// cost is O(N·K) for the seed plus the capped sweeps, microseconds at
+// paper scale, while the polish pass removes the worst comparison
+// hot-spots the pure bandwidth heuristic leaves on skewed data. The
+// regret-based plan policy (internal/plancache) decides per query whether
+// this path's predicted gap to the lower bound is small enough to skip
+// the full planner.
+type GreedyPlanner struct {
+	// Polish is the number of Tabu rebalancing sweeps after the seed;
+	// <= 0 means 1.
+	Polish int
+	// Workers shards the what-if evaluation as in TabuPlanner; the result
+	// is identical at every setting.
+	Workers int
+}
+
+// Name implements Planner.
+func (GreedyPlanner) Name() string { return "Greedy" }
+
+// Plan implements Planner.
+func (g GreedyPlanner) Plan(pr *Problem) (Result, error) {
+	rounds := g.Polish
+	if rounds <= 0 {
+		rounds = 1
+	}
+	res, err := TabuPlanner{MaxRounds: rounds, Workers: g.Workers}.Plan(pr)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Planner = GreedyPlanner{}.Name()
+	return res, nil
+}
+
 // TabuPlanner implements Algorithm 2: start from the minimum-bandwidth
 // plan, then repeatedly rebalance nodes whose per-node cost exceeds the
 // mean by moving join units to cheaper nodes, never repeating a

@@ -20,10 +20,15 @@ import (
 // to know whether the output exceeds its inputs (Section 4), so coarse
 // estimates suffice.
 func EstimateSelectivity(c *cluster.Cluster, src *logical.ResolvedSources, nA, nB int64) float64 {
+	return estimateSelectivity(catalogHistogram(c), src, nA, nB)
+}
+
+// estimateSelectivity is EstimateSelectivity with an injectable histogram
+// source (the catalog in production, stubs in tests).
+func estimateSelectivity(hist func(arrayName, attrName string) *stats.Histogram, src *logical.ResolvedSources, nA, nB int64) float64 {
 	if nA == 0 || nB == 0 {
 		return 1e-6
 	}
-	hist := catalogHistogram(c)
 	pairProb := 1.0
 	for i := range src.Resolved.Pred {
 		lref, rref := src.Resolved.Left[i], src.Resolved.Right[i]
@@ -40,8 +45,10 @@ func EstimateSelectivity(c *cluster.Cluster, src *logical.ResolvedSources, nA, n
 		}
 		ha := sideHistogram(hist, src.Left, lref, nA)
 		hb := sideHistogram(hist, src.Right, rref, nB)
-		if ha == nil || hb == nil {
-			// No statistics (e.g. string keys): neutral guess.
+		if ha == nil || hb == nil || ha.Total == 0 || hb.Total == 0 {
+			// No statistics (string keys, or an empty attribute column whose
+			// histogram has zero mass — EquiJoinFromHistograms would estimate
+			// zero matches and zero out the product): neutral guess.
 			pairProb *= 1 / math.Max(float64(nA), 1)
 			continue
 		}

@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/stats"
+)
+
+// resolveAttrJoin builds ResolvedSources for an attribute equi-join of two
+// 1-D arrays, the shape whose selectivity estimate consults histograms.
+func resolveAttrJoin(t *testing.T) *logical.ResolvedSources {
+	t.Helper()
+	ls := array.MustParseSchema("L<v:int>[i=1,1024,64]")
+	rs := array.MustParseSchema("R<w:int>[j=1,1024,64]")
+	src, err := logical.ResolveSources(ls, rs, nil,
+		join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// A catalog histogram with Total == 0 (an empty attribute column) must not
+// zero out — or NaN out — the selectivity estimate:
+// cardinality.EquiJoinFromHistograms divides by histogram mass, so the
+// zero-mass case has to take the same neutral 1/max(nA,1) path as a
+// missing histogram.
+func TestEstimateSelectivityZeroMassHistogram(t *testing.T) {
+	src := resolveAttrJoin(t)
+	empty := func(arrayName, attrName string) *stats.Histogram {
+		return stats.NewHistogram(0, 100, 8) // zero mass
+	}
+	const nA, nB = 500, 400
+	got := estimateSelectivity(empty, src, nA, nB)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("selectivity = %v, want finite", got)
+	}
+	if got <= 0 {
+		t.Fatalf("selectivity = %v, want > 0", got)
+	}
+	missing := func(arrayName, attrName string) *stats.Histogram { return nil }
+	if want := estimateSelectivity(missing, src, nA, nB); got != want {
+		t.Errorf("zero-mass selectivity = %v, want neutral-path value %v", got, want)
+	}
+}
+
+// One-sided zero mass must also fall back to the neutral path.
+func TestEstimateSelectivityOneSidedZeroMass(t *testing.T) {
+	src := resolveAttrJoin(t)
+	oneSided := func(arrayName, attrName string) *stats.Histogram {
+		if arrayName == "L" {
+			h := stats.NewHistogram(0, 100, 8)
+			for v := 0.0; v < 100; v++ {
+				h.Add(v)
+			}
+			return h
+		}
+		return stats.NewHistogram(0, 100, 8)
+	}
+	got := estimateSelectivity(oneSided, src, 500, 400)
+	if math.IsNaN(got) || got <= 0 {
+		t.Fatalf("selectivity = %v, want finite and positive", got)
+	}
+}

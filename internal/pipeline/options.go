@@ -10,6 +10,7 @@ import (
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
+	"shufflejoin/internal/plancache"
 	"shufflejoin/internal/simnet"
 )
 
@@ -69,10 +70,37 @@ type Options struct {
 	// spans incrementally while the query is still executing. Nil
 	// disables tracing at the cost of a nil check per call.
 	Trace *obs.Trace
+	// Cache, when non-nil, short-circuits planning for repeated queries:
+	// before planning, the query's signature (schema shape, chunk grid,
+	// skew-histogram fingerprint, node count, planning options) is looked
+	// up, and a hit replays the stored logical plan and physical
+	// assignment after a cheap revalidation against the current slice
+	// statistics (plancache.Revalidate). Misses and revalidation rejects
+	// plan normally and store the outcome. The cache is safe to share
+	// across concurrent queries. Explain never consults it.
+	Cache *plancache.Cache
+	// PlanPolicy, when non-nil, enables the greedy planner fast path:
+	// logical.GreedyChoose for the logical plan (unless ForceAlgo pins
+	// the algorithm) and physical.GreedyPlanner for the assignment,
+	// falling back to Planner when the greedy plan's predicted regret
+	// against the analytic lower bound exceeds the policy's ε.
+	PlanPolicy *plancache.Policy
 }
 
 // workers resolves the Parallelism knob to an effective worker count.
 func (o *Options) workers() int { return par.Workers(o.Parallelism) }
+
+// normalize fills the planning defaults stages rely on. It must run
+// before any cache-signature computation so that explicit and defaulted
+// options sign identically.
+func (o *Options) normalize() {
+	if o.Planner == nil {
+		o.Planner = physical.MinBandwidthPlanner{}
+	}
+	if o.Params == (physical.CostParams{}) {
+		o.Params = physical.DefaultParams()
+	}
+}
 
 // Accessor resolves a source field of the join into an extractor over
 // matched tuple pairs: dimensions read coordinates, attributes read carried
@@ -127,6 +155,17 @@ type Report struct {
 	// used — the caller's, or the catalog-statistics estimate when the
 	// caller supplied none (LogicalPlan stage).
 	Selectivity float64
+
+	// PlanSource records how this query's plans were obtained: "cached"
+	// (signature hit, revalidated), "greedy" (fast-path planners), or
+	// "full" (complete enumeration and configured physical planner —
+	// including greedy-path queries whose predicted regret forced the
+	// fallback) (PhysicalPlan stage; LogicalPlan stage on cache hits).
+	PlanSource string
+	// PlanRegret is the greedy plan's predicted regret against the
+	// analytic lower bound, when the greedy fast path ran; zero
+	// otherwise (PhysicalPlan stage).
+	PlanRegret float64
 
 	// Modeled phase durations in seconds, mirroring the paper's figures:
 	// PlanTime is real planning wall-time (PhysicalPlan stage); AlignTime

@@ -45,6 +45,7 @@ import (
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
 	"shufflejoin/internal/physical"
+	"shufflejoin/internal/plancache"
 	"shufflejoin/internal/shuffle"
 	"shufflejoin/internal/simnet"
 )
@@ -80,6 +81,10 @@ type QueryContext struct {
 
 	wallStart   time.Time
 	explainOnly bool // LogicalPlan stage: enumerate but do not select
+
+	// Plan-cache state (LogicalPlan stage, only when Opt.Cache is set).
+	sig    plancache.Signature // this query's cache signature
+	cached *plancache.Entry    // hit awaiting revalidation in PhysicalPlan
 
 	// Stage products, in the order they are produced.
 	plans     []logical.Plan    // LogicalPlan: every valid plan, cheapest first

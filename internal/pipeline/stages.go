@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"shufflejoin/internal/logical"
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/physical"
+	"shufflejoin/internal/plancache"
 	"shufflejoin/internal/shuffle"
 	"shufflejoin/internal/simnet"
 	"shufflejoin/internal/stats"
@@ -27,11 +27,22 @@ func (LogicalPlan) Name() string { return "logical-plan" }
 
 func (LogicalPlan) Run(qc *QueryContext) error {
 	c, opt := qc.Cluster, qc.Opt
-	if opt.Planner == nil {
-		opt.Planner = physical.MinBandwidthPlanner{}
-	}
-	if opt.Params == (physical.CostParams{}) {
-		opt.Params = physical.DefaultParams()
+	opt.normalize()
+	if opt.Cache != nil && !qc.explainOnly {
+		qc.sig = planSignature(qc)
+		if e, ok := opt.Cache.Lookup(qc.sig); ok {
+			// Hit: replay the stored logical plan; the physical stage
+			// revalidates the assignment against fresh slice statistics.
+			opt.Trace.Metrics().Counter("plancache.hit").Add(1)
+			lp := e.Logical
+			qc.plan, qc.cached = &lp, e
+			qc.plans = []logical.Plan{lp}
+			qc.Report.Logical = lp
+			qc.Report.Selectivity = e.Selectivity
+			qc.Report.PlanSource = PlanSourceCached
+			return nil
+		}
+		opt.Trace.Metrics().Counter("plancache.miss").Add(1)
 	}
 	src, err := logical.ResolveSources(qc.Left.Array.Schema, qc.Right.Array.Schema, qc.Out, qc.Pred)
 	if err != nil {
@@ -70,6 +81,25 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 		lopt.Selectivity = EstimateSelectivity(c, src, sa.Cells, sb.Cells)
 	}
 	sp := opt.Trace.Root().Child("plan.logical")
+	if opt.PlanPolicy != nil && opt.ForceAlgo == nil && !qc.explainOnly {
+		// Greedy fast path: constant-size candidate set instead of the
+		// full Algorithm-1 sweep (see logical.GreedyChoose). ForceAlgo
+		// needs the full enumeration to honor the algorithm pin.
+		lp, err := logical.GreedyChoose(js, sa, sb, lopt)
+		if err != nil {
+			return err
+		}
+		sp.SetNum("selectivity", lopt.Selectivity)
+		sp.SetStr("best", lp.Describe())
+		sp.SetStr("mode", "greedy")
+		sp.End()
+		qc.plans = []logical.Plan{lp}
+		qc.Report.Selectivity = lopt.Selectivity
+		qc.plan = &qc.plans[0]
+		qc.Report.Logical = lp
+		qc.Report.PlanSource = PlanSourceGreedy
+		return nil
+	}
 	plans, err := logical.Enumerate(js, sa, sb, lopt)
 	if err != nil {
 		return err
@@ -100,6 +130,7 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 	}
 	qc.plan = &lp
 	qc.Report.Logical = lp
+	qc.Report.PlanSource = PlanSourceFull
 	return nil
 }
 
@@ -144,7 +175,7 @@ func (PhysicalPlan) Run(qc *QueryContext) error {
 	}
 	ps := tr.Root().Child("plan.physical")
 	pr.Span = ps
-	pres, err := opt.Planner.Plan(pr)
+	pres, err := planAssignment(qc, pr)
 	if err != nil {
 		return err
 	}
@@ -175,6 +206,74 @@ func (PhysicalPlan) Run(qc *QueryContext) error {
 		qc.nodeUnits[dest] = append(qc.nodeUnits[dest], u)
 	}
 	return nil
+}
+
+// PlanSource values recorded in Report.PlanSource.
+const (
+	PlanSourceCached = "cached" // signature hit, assignment revalidated
+	PlanSourceGreedy = "greedy" // fast-path planners, regret within ε
+	PlanSourceFull   = "full"   // full enumeration / configured planner
+)
+
+// planAssignment produces the physical assignment for the query by the
+// cheapest admissible route: a revalidated cache hit, the greedy fast
+// path under the regret policy, or the configured full planner. Fresh
+// outcomes are stored back into the cache under the query's signature.
+func planAssignment(qc *QueryContext, pr *physical.Problem) (physical.Result, error) {
+	opt, rep := qc.Opt, qc.Report
+	if qc.cached != nil {
+		start := time.Now()
+		if bd, ok := plancache.Revalidate(qc.cached, pr, 0); ok {
+			return physical.Result{
+				Planner:    "Cached/" + qc.cached.Source,
+				Assignment: qc.cached.Assignment,
+				Model:      bd,
+				PlanTime:   time.Since(start),
+			}, nil
+		}
+		// The stored assignment no longer describes the data (a
+		// fingerprint collision or an externally seeded entry): evict it
+		// and replan the physical half. The cached logical plan is kept —
+		// the logical choice depends only on signature inputs.
+		opt.Cache.RecordReject(qc.sig)
+		opt.Trace.Metrics().Counter("plancache.revalidate_reject").Add(1)
+		qc.cached = nil
+		rep.PlanSource = PlanSourceGreedy
+		if opt.PlanPolicy == nil {
+			rep.PlanSource = PlanSourceFull
+		}
+	}
+
+	var pres physical.Result
+	if opt.PlanPolicy != nil {
+		d, err := opt.PlanPolicy.PlanPhysical(pr, opt.Planner)
+		if err != nil {
+			return physical.Result{}, err
+		}
+		pres = d.Result
+		rep.PlanRegret = d.Regret
+		if d.FellBack {
+			// Regret policy overrode the fast path; the query paid for
+			// (and benefits from) full planning.
+			rep.PlanSource = PlanSourceFull
+		}
+	} else {
+		var err error
+		pres, err = opt.Planner.Plan(pr)
+		if err != nil {
+			return physical.Result{}, err
+		}
+	}
+	if opt.Cache != nil && qc.sig != "" {
+		opt.Cache.Store(qc.sig, &plancache.Entry{
+			Logical:     *qc.plan,
+			Selectivity: rep.Selectivity,
+			Assignment:  pres.Assignment,
+			Model:       pres.Model,
+			Source:      rep.PlanSource,
+		})
+	}
+	return pres, nil
 }
 
 // Align is the Section 3.4 data alignment stage: it derives the shuffle's
@@ -430,37 +529,16 @@ func unitModelTime(algo join.Algorithm, p physical.CostParams, nl, nr int) float
 	}
 }
 
-// catalogHistogram builds attribute histograms on demand by scanning the
-// stored array — the statistics the paper's engine keeps in its catalog.
+// catalogHistogram serves attribute histograms from the catalog — the
+// statistics the paper's engine keeps there. Histograms are built lazily
+// and cached per Distributed (see cluster.AttrHistogram), so repeated
+// queries over the same array do not rescan its cells.
 func catalogHistogram(c *cluster.Cluster) func(arrayName, attrName string) *stats.Histogram {
 	return func(arrayName, attrName string) *stats.Histogram {
 		d, err := c.Catalog.Lookup(arrayName)
 		if err != nil {
 			return nil
 		}
-		ai := d.Array.Schema.AttrIndex(attrName)
-		if ai < 0 {
-			return nil
-		}
-		lo, hi := math.Inf(1), math.Inf(-1)
-		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
-			v := attrs[ai].AsFloat()
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-			return true
-		})
-		if lo > hi {
-			return nil
-		}
-		h := stats.NewHistogram(lo, hi, 64)
-		d.Array.Scan(func(_ []int64, attrs []array.Value) bool {
-			h.Add(attrs[ai].AsFloat())
-			return true
-		})
-		return h
+		return d.AttrHistogram(attrName)
 	}
 }

@@ -1,0 +1,243 @@
+// Package plancache makes planning a per-connection cost instead of a
+// per-query cost. It provides the two halves of the fast path:
+//
+//   - a signature-keyed cache of finished plans. The key fingerprints
+//     everything the planners consume — schema shape, chunk grid,
+//     skew-histogram fingerprint (internal/stats), node count, and the
+//     planner-relevant options — so a plan is only ever reused for the
+//     planning problem it was computed for. Per Skew Strikes Back
+//     (PAPERS.md), a cached plan is only as good as the skew statistics
+//     it was computed against: re-ingesting the same schema under a
+//     different skew profile changes the histogram fingerprint and
+//     misses by construction. Hits are still revalidated by re-costing
+//     the cached assignment against the current slice statistics, with
+//     a drift threshold guarding against fingerprint collisions and
+//     manually seeded entries.
+//
+//   - a regret-based policy choosing between the greedy planner pair
+//     (logical.GreedyChoose + physical.GreedyPlanner: center-of-gravity
+//     seed, one bounded Tabu polish sweep, no ILP) and the configured
+//     full planner. The greedy plan is always computed first — it costs
+//     microseconds — and kept unless its predicted regret against the
+//     problem's analytic lower bound (physical.LowerBound) exceeds ε,
+//     in which case the full planner runs and the fallback is recorded.
+package plancache
+
+import (
+	"fmt"
+	"sync"
+
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/physical"
+)
+
+// Signature identifies a planning problem. Equal signatures mean the
+// planners would see identical inputs: same schemas and predicate, same
+// chunk grids and per-chunk cell counts, same skew histograms, same node
+// count, and same planning options. Built by pipeline's signature
+// computation from catalog fingerprints (cluster.DataFingerprint).
+type Signature string
+
+// Entry is one cached planning outcome: the chosen logical plan, the
+// selectivity it was priced with, and the physical assignment with its
+// modeled cost at store time.
+type Entry struct {
+	Logical     logical.Plan
+	Selectivity float64
+	Assignment  physical.Assignment
+	Model       physical.Breakdown
+	// Source records how the stored plan was produced ("greedy" or
+	// "full"), so a revalidated hit can report the provenance chain.
+	Source string
+}
+
+// Stats are the cache's monotone counters, mirrored into internal/obs by
+// the pipeline integration.
+type Stats struct {
+	Hits    int64 // signature present
+	Misses  int64 // signature absent
+	Rejects int64 // hit whose revalidation failed (drift past threshold)
+}
+
+// Cache is a concurrency-safe plan cache. The zero value is not usable;
+// call New. A nil *Cache is tolerated by every method and behaves as an
+// always-miss cache, so callers can thread an optional cache without
+// branching.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Signature]*Entry
+	stats   Stats
+}
+
+// New returns an empty plan cache.
+func New() *Cache {
+	return &Cache{entries: make(map[Signature]*Entry)}
+}
+
+// Lookup returns the entry stored under sig, counting a hit or a miss.
+// The entry is shared — callers must treat it as immutable.
+func (c *Cache) Lookup(sig Signature) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[sig]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return e, ok
+}
+
+// Store records a planning outcome under sig, replacing any prior entry.
+func (c *Cache) Store(sig Signature, e *Entry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[sig] = e
+}
+
+// RecordReject counts a revalidation rejection and evicts the stale
+// entry so the replacement stored by the replanning query wins.
+func (c *Cache) RecordReject(sig Signature) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Rejects++
+	delete(c.entries, sig)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// DefaultMaxDrift is the revalidation threshold: a cached assignment
+// whose re-costed makespan exceeds its stored makespan by more than this
+// fraction is rejected. When the signature machinery works, a hit's
+// statistics are identical and measured drift is exactly zero; any
+// nonzero drift means the entry no longer describes the data.
+const DefaultMaxDrift = 0.05
+
+// Revalidate re-costs a cached assignment against the current planning
+// problem — the cheap O(N·K) hit-path check. It returns the fresh cost
+// breakdown and whether the entry is still usable: the assignment must
+// be shape-valid for the problem, and its re-costed total must stay
+// within maxDrift (<= 0 selects DefaultMaxDrift) of the total it was
+// stored with.
+func Revalidate(e *Entry, pr *physical.Problem, maxDrift float64) (physical.Breakdown, bool) {
+	if maxDrift <= 0 {
+		maxDrift = DefaultMaxDrift
+	}
+	if e == nil || !pr.Valid(e.Assignment) {
+		return physical.Breakdown{}, false
+	}
+	bd := pr.Evaluate(e.Assignment)
+	if e.Model.Total <= 0 {
+		return bd, bd.Total <= 0
+	}
+	return bd, bd.Total <= (1+maxDrift)*e.Model.Total
+}
+
+// DefaultEpsilon is the regret policy's acceptance threshold, calibrated
+// against the Zipf α sweep (expdriver -exp planquality): the greedy
+// planner's makespan stays within 10% of the full planner's at every
+// swept skew level, so predicted regret beyond that signals a problem
+// shape the polish pass cannot balance and the full planner should see.
+const DefaultEpsilon = 0.10
+
+// Policy is the data-driven greedy/full decision.
+type Policy struct {
+	// Epsilon is the largest acceptable predicted regret; <= 0 selects
+	// DefaultEpsilon.
+	Epsilon float64
+	// Polish and Workers configure the greedy planner's bounded Tabu
+	// polish pass (see physical.GreedyPlanner).
+	Polish  int
+	Workers int
+}
+
+func (p Policy) epsilon() float64 {
+	if p.Epsilon <= 0 {
+		return DefaultEpsilon
+	}
+	return p.Epsilon
+}
+
+// PredictedRegret is the policy's quality signal: how far a plan's
+// modeled makespan sits above the problem's analytic lower bound,
+// as a fraction (0 = provably optimal). The true regret against the
+// full planner is unobservable without running it; the lower bound
+// over-approximates it, so filtering on the prediction only ever errs
+// toward running the full planner.
+func PredictedRegret(pr *physical.Problem, total float64) float64 {
+	lb := physical.LowerBound(pr)
+	if lb <= 0 {
+		if total <= 0 {
+			return 0
+		}
+		return total
+	}
+	if r := total/lb - 1; r > 0 {
+		return r
+	}
+	return 0 // clamp float rounding when the plan sits exactly on the bound
+}
+
+// Decision reports how the policy planned one query.
+type Decision struct {
+	Result physical.Result
+	Regret float64 // predicted regret of the greedy plan
+	// FellBack is true when predicted regret exceeded ε and Result came
+	// from the full planner instead.
+	FellBack bool
+}
+
+// PlanPhysical runs the greedy fast path and, when its predicted regret
+// exceeds the policy's ε, falls back to the supplied full planner.
+func (p Policy) PlanPhysical(pr *physical.Problem, full physical.Planner) (Decision, error) {
+	greedy, err := physical.GreedyPlanner{Polish: p.Polish, Workers: p.Workers}.Plan(pr)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{Result: greedy, Regret: PredictedRegret(pr, greedy.Model.Total)}
+	if d.Regret <= p.epsilon() {
+		return d, nil
+	}
+	if full == nil {
+		return d, nil
+	}
+	res, err := full.Plan(pr)
+	if err != nil {
+		return Decision{}, fmt.Errorf("plancache: regret fallback: %w", err)
+	}
+	// Keep whichever plan models cheaper: the full planner is a search
+	// under a budget, not an oracle, and must never make a query worse
+	// than the fast path it replaced.
+	if res.Model.Total <= greedy.Model.Total {
+		d.Result = res
+		d.FellBack = true
+	}
+	return d, nil
+}

@@ -1,0 +1,177 @@
+package plancache
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/physical"
+)
+
+func testProblem(t *testing.T, seed int64, n, k int) *physical.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	left := make([][]int64, n)
+	right := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		l := make([]int64, k)
+		r := make([]int64, k)
+		for j := 0; j < k; j++ {
+			l[j] = rng.Int63n(200)
+			r[j] = rng.Int63n(200)
+		}
+		left[i], right[i] = l, r
+	}
+	pr, err := physical.NewProblem(k, join.Hash, left, right, physical.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := New()
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Store("a", &Entry{Source: "full"})
+	e, ok := c.Lookup("a")
+	if !ok || e.Source != "full" {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := c.Lookup("b"); ok {
+		t.Fatal("hit on missing signature")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Rejects != 0 {
+		t.Errorf("Stats = %+v, want 1 hit, 2 misses", s)
+	}
+	c.RecordReject("a")
+	if c.Stats().Rejects != 1 {
+		t.Error("RecordReject not counted")
+	}
+	if _, ok := c.Lookup("a"); ok {
+		t.Error("rejected entry not evicted")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after eviction", c.Len())
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	c.Store("a", &Entry{})
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.RecordReject("a")
+	if c.Stats() != (Stats{}) || c.Len() != 0 {
+		t.Error("nil cache should have zero stats")
+	}
+}
+
+func TestRevalidateAcceptsUnchangedProblem(t *testing.T) {
+	pr := testProblem(t, 1, 32, 4)
+	res, err := physical.GreedyPlanner{}.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{Assignment: res.Assignment, Model: res.Model}
+	bd, ok := Revalidate(e, pr, 0)
+	if !ok {
+		t.Fatal("unchanged problem rejected")
+	}
+	if bd != res.Model {
+		t.Errorf("re-cost %+v differs from stored %+v on identical stats", bd, res.Model)
+	}
+}
+
+func TestRevalidateRejectsDriftAndShapeMismatch(t *testing.T) {
+	pr := testProblem(t, 1, 32, 4)
+	res, err := physical.GreedyPlanner{}.Plan(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale entry whose stored cost pretends to be far cheaper than
+	// the assignment's true cost on the current data: drift past 5%.
+	stale := &Entry{Assignment: res.Assignment, Model: physical.Breakdown{Total: res.Model.Total / 10}}
+	if _, ok := Revalidate(stale, pr, 0); ok {
+		t.Error("10x drift accepted")
+	}
+	// Wrong shape: assignment for another unit count.
+	short := &Entry{Assignment: res.Assignment[:8], Model: res.Model}
+	if _, ok := Revalidate(short, pr, 0); ok {
+		t.Error("truncated assignment accepted")
+	}
+	// Node out of range for a smaller cluster.
+	pr2 := testProblem(t, 1, 32, 2)
+	if _, ok := Revalidate(&Entry{Assignment: res.Assignment, Model: res.Model}, pr2, 0); ok {
+		t.Error("assignment naming node 3 accepted on a 2-node problem")
+	}
+	if _, ok := Revalidate(nil, pr, 0); ok {
+		t.Error("nil entry accepted")
+	}
+}
+
+func TestPolicyKeepsGreedyWhenRegretSmall(t *testing.T) {
+	// Uniform data: greedy is at the lower bound, regret ~0, no fallback.
+	k, n := 4, 32
+	left := make([][]int64, n)
+	right := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		l := make([]int64, k)
+		r := make([]int64, k)
+		l[i%k], r[i%k] = 100, 100
+		left[i], right[i] = l, r
+	}
+	pr, err := physical.NewProblem(k, join.Merge, left, right, physical.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Policy{}.PlanPhysical(pr, physical.ILPPlanner{Budget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FellBack {
+		t.Errorf("uniform data fell back to ILP (regret %v)", d.Regret)
+	}
+	if d.Result.Planner != "Greedy" {
+		t.Errorf("Planner = %q", d.Result.Planner)
+	}
+	if d.Regret > 1e-9 {
+		t.Errorf("regret = %v on uniform data, want ~0", d.Regret)
+	}
+}
+
+func TestPolicyFallsBackOnHighRegret(t *testing.T) {
+	pr := testProblem(t, 7, 48, 4)
+	// An absurdly strict ε forces the fallback path regardless of the
+	// greedy plan's real quality.
+	d, err := Policy{Epsilon: 1e-12}.PlanPhysical(pr, physical.TabuPlanner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, _ := physical.GreedyPlanner{}.Plan(pr)
+	if d.Regret != PredictedRegret(pr, greedy.Model.Total) {
+		t.Errorf("Decision.Regret = %v, want the greedy plan's", d.Regret)
+	}
+	if d.Regret > 1e-12 && !d.FellBack && d.Result.Model.Total > greedy.Model.Total {
+		t.Error("high regret, no fallback, and a worse plan")
+	}
+	// The decision never models worse than the pure greedy plan.
+	if d.Result.Model.Total > greedy.Model.Total+1e-9 {
+		t.Errorf("policy result %v worse than greedy %v", d.Result.Model.Total, greedy.Model.Total)
+	}
+}
+
+func TestPolicyNilFullPlannerKeepsGreedy(t *testing.T) {
+	pr := testProblem(t, 3, 16, 4)
+	d, err := Policy{Epsilon: 1e-12}.PlanPhysical(pr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FellBack || d.Result.Planner != "Greedy" {
+		t.Errorf("nil full planner: %+v", d)
+	}
+}

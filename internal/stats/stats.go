@@ -160,6 +160,11 @@ type Histogram struct {
 	Lo, Hi  float64 // value range covered, [Lo, Hi]
 	Buckets []int64
 	Total   int64
+	// Dropped counts NaN and ±Inf observations rejected by Add. They carry
+	// no position on the value axis (int(NaN*n) is platform-defined), so
+	// filing them into a bucket would silently corrupt the distribution and
+	// inflate Total; instead they are counted here as a data-quality signal.
+	Dropped int64
 }
 
 // NewHistogram builds an equi-width histogram with nBuckets over [lo, hi].
@@ -173,8 +178,13 @@ func NewHistogram(lo, hi float64, nBuckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, nBuckets)}
 }
 
-// Add records one observation. Out-of-range values clamp to the end buckets.
+// Add records one observation. Out-of-range finite values clamp to the end
+// buckets; NaN and ±Inf observations are dropped and counted in Dropped.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.Dropped++
+		return
+	}
 	idx := h.bucketOf(v)
 	h.Buckets[idx]++
 	h.Total++
@@ -193,6 +203,38 @@ func (h *Histogram) bucketOf(v float64) int {
 		idx = len(h.Buckets) - 1
 	}
 	return idx
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest of the histogram's shape:
+// range, bucket masses, and the Total/Dropped counters. Two histograms
+// fingerprint equal iff they describe the same distribution at the same
+// resolution, which is what signature-keyed plan caching needs — a plan
+// computed against one skew profile must not be reused under another.
+func (h *Histogram) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	if h == nil {
+		return offset64
+	}
+	f := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			f ^= v & 0xff
+			f *= prime64
+			v >>= 8
+		}
+	}
+	mix(math.Float64bits(h.Lo))
+	mix(math.Float64bits(h.Hi))
+	mix(uint64(len(h.Buckets)))
+	for _, b := range h.Buckets {
+		mix(uint64(b))
+	}
+	mix(uint64(h.Total))
+	mix(uint64(h.Dropped))
+	return f
 }
 
 // ValueRange returns the observed value range as integer bounds, suitable

@@ -192,3 +192,82 @@ func TestZipfSkewIncreasesConcentration(t *testing.T) {
 		prev = c
 	}
 }
+
+func TestHistogramDropsNaNAndInf(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.Total != 0 {
+		t.Errorf("Total = %d after non-finite adds, want 0", h.Total)
+	}
+	if h.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", h.Dropped)
+	}
+	for i, b := range h.Buckets {
+		if b != 0 {
+			t.Errorf("bucket %d = %d, want 0 (non-finite values must not land anywhere)", i, b)
+		}
+	}
+	h.Add(5)
+	if h.Total != 1 || h.Dropped != 3 {
+		t.Errorf("after finite add: Total = %d, Dropped = %d, want 1, 3", h.Total, h.Dropped)
+	}
+}
+
+func TestHistogramBoundaryValues(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	h.Add(0)  // v == Lo: first bucket
+	h.Add(10) // v == Hi: clamps into the last bucket, not one past it
+	if h.Buckets[0] != 1 {
+		t.Errorf("Buckets[0] = %d, want 1 (v == Lo)", h.Buckets[0])
+	}
+	if h.Buckets[3] != 1 {
+		t.Errorf("Buckets[3] = %d, want 1 (v == Hi)", h.Buckets[3])
+	}
+	if h.Total != 2 || h.Dropped != 0 {
+		t.Errorf("Total = %d, Dropped = %d, want 2, 0", h.Total, h.Dropped)
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	h := NewHistogram(7, 7, 4) // Hi == Lo: single-point domain
+	h.Add(7)
+	h.Add(6)  // below: clamps to bucket 0
+	h.Add(8)  // above: clamps to bucket 0
+	h.Add(math.NaN())
+	if h.Buckets[0] != 3 {
+		t.Errorf("Buckets[0] = %d, want 3 (all finite values collapse to bucket 0)", h.Buckets[0])
+	}
+	if h.Total != 3 || h.Dropped != 1 {
+		t.Errorf("Total = %d, Dropped = %d, want 3, 1", h.Total, h.Dropped)
+	}
+}
+
+func TestHistogramFingerprint(t *testing.T) {
+	build := func(vals ...float64) *Histogram {
+		h := NewHistogram(0, 100, 8)
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h
+	}
+	a := build(1, 2, 3, 50, 99)
+	b := build(1, 2, 3, 50, 99)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical histograms fingerprint differently")
+	}
+	c := build(1, 2, 3, 10, 99) // one observation in another bucket
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Errorf("different bucket masses share a fingerprint")
+	}
+	d := build(1, 2, 3, 50, 99)
+	d.Add(math.NaN()) // dropped observations are part of the shape
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Errorf("Dropped count should alter the fingerprint")
+	}
+	var nilH *Histogram
+	if nilH.Fingerprint() != (*Histogram)(nil).Fingerprint() {
+		t.Errorf("nil fingerprint should be stable")
+	}
+}

@@ -39,6 +39,17 @@ type Result struct {
 	// Planner names the physical planner that assigned join units
 	// (PhysicalPlan stage).
 	Planner string
+	// PlanSource records how the plans were obtained: "cached" (plan-cache
+	// hit, revalidated against current statistics), "greedy" (the
+	// WithGreedyPlanning fast path), or "full" (complete enumeration and
+	// the configured physical planner — including greedy-path queries
+	// whose predicted regret forced the fallback). Empty for multi-way
+	// queries (LogicalPlan/PhysicalPlan stages).
+	PlanSource string
+	// PlanRegret is the greedy plan's predicted regret against the
+	// analytic cost lower bound when the greedy fast path ran; zero
+	// otherwise (PhysicalPlan stage).
+	PlanRegret float64
 	// Matches is the number of matched cell pairs (= output cells)
 	// (Compare stage).
 	Matches int64
@@ -97,6 +108,8 @@ func newResult(rep *pipeline.Report) *Result {
 		Plan:            rep.Logical.Describe(),
 		Algorithm:       rep.Logical.Algo.String(),
 		Planner:         rep.Physical.Planner,
+		PlanSource:      rep.PlanSource,
+		PlanRegret:      rep.PlanRegret,
 		Matches:         rep.Matches,
 		CellsMoved:      rep.CellsMoved,
 		ClampedCells:    rep.ClampedCells,

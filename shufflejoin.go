@@ -38,6 +38,7 @@ import (
 	"shufflejoin/internal/par"
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/pipeline"
+	"shufflejoin/internal/plancache"
 	"shufflejoin/internal/simnet"
 	"shufflejoin/internal/storage"
 	"shufflejoin/internal/workload"
@@ -236,6 +237,8 @@ type queryConfig struct {
 	strictBounds bool
 	forceAlgo    string
 	trace        *obs.Trace
+	cache        *plancache.Cache
+	policy       *plancache.Policy
 }
 
 // QueryOption customizes one Query call.
@@ -300,6 +303,64 @@ func PlannerByName(name string, budget time.Duration) (physical.Planner, error) 
 		return physical.CoarseILPPlanner{Budget: budget}, nil
 	default:
 		return nil, fmt.Errorf("shufflejoin: unknown planner %q (want baseline|mbh|tabu|ilp|coarse)", name)
+	}
+}
+
+// PlanCache is a signature-keyed cache of logical plans and physical
+// assignments, shared across queries (and safe for concurrent ones).
+// Create one with NewPlanCache and attach it per query via WithPlanCache;
+// a repeated query whose data, cluster, and planning options are
+// unchanged skips planning entirely, after a cheap revalidation of the
+// cached assignment against current statistics. The signature covers the
+// per-side data fingerprints (schema, chunk grid, per-chunk cell counts,
+// placement, skew histogram) — so re-ingesting the same schema with a
+// different skew profile misses by construction — plus node count,
+// predicate, join-column histograms, and every planning option.
+type PlanCache = plancache.Cache
+
+// PlanCacheStats is the cumulative hit/miss/revalidation-reject counters
+// of a PlanCache (PlanCache.Stats).
+type PlanCacheStats = plancache.Stats
+
+// NewPlanCache creates an empty plan cache to share across queries.
+func NewPlanCache() *PlanCache { return plancache.New() }
+
+// WithPlanCache attaches a shared plan cache to the query: the query's
+// plan signature is looked up before planning, and on a hit the stored
+// logical plan and physical assignment are replayed (after revalidation
+// against current statistics). Misses and revalidation rejects plan
+// normally and store the outcome for the next identical query.
+func WithPlanCache(pc *PlanCache) QueryOption {
+	return func(c *queryConfig) error {
+		if pc == nil {
+			return fmt.Errorf("shufflejoin: WithPlanCache needs a non-nil cache (use NewPlanCache)")
+		}
+		c.cache = pc
+		return nil
+	}
+}
+
+// WithGreedyPlanning enables the microsecond-class greedy planner fast
+// path: the logical plan comes from a dominated candidate set instead of
+// the full enumeration, and the physical assignment from
+// center-of-gravity seeding with one bounded polish pass instead of the
+// configured planner. When the greedy assignment's predicted regret
+// against the analytic cost lower bound exceeds epsilon, the query falls
+// back to full planning and keeps the cheaper plan (Result.PlanSource
+// reports which path won). The optional epsilon overrides the default
+// regret threshold (0.10, calibrated by the planquality experiment's
+// Zipf sweep); it must be positive.
+func WithGreedyPlanning(epsilon ...float64) QueryOption {
+	return func(c *queryConfig) error {
+		eps := plancache.DefaultEpsilon
+		if len(epsilon) > 0 {
+			eps = epsilon[0]
+			if eps <= 0 {
+				return fmt.Errorf("shufflejoin: greedy-planning epsilon must be positive, got %g", eps)
+			}
+		}
+		c.policy = &plancache.Policy{Epsilon: eps}
+		return nil
 	}
 }
 
@@ -405,6 +466,11 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 		StrictBounds: cfg.strictBounds,
 		Logical:      logical.PlanOptions{Selectivity: cfg.selectivity},
 		Trace:        cfg.trace,
+		Cache:        cfg.cache,
+		PlanPolicy:   cfg.policy,
+	}
+	if cfg.policy != nil {
+		cfg.policy.Workers = par.Workers(cfg.parallelism)
 	}
 	if cfg.forceAlgo != "" {
 		a, err := algoByName(cfg.forceAlgo)

@@ -343,3 +343,78 @@ func TestRedimensionAndSaveAs(t *testing.T) {
 		t.Error("nameless target should fail")
 	}
 }
+
+// TestPlanCacheAndGreedyOptions: the facade's plan-cache and greedy-planning
+// options must not change query semantics, and must report how each query's
+// plans were obtained via Result.PlanSource.
+func TestPlanCacheAndGreedyOptions(t *testing.T) {
+	open := func() *DB {
+		db, _ := Open(3)
+		a, _ := db.CreateArray("A<v:int>[i=1,120,10]")
+		b, _ := db.CreateArray("B<w:int>[i=1,120,10]")
+		for i := int64(1); i <= 120; i++ {
+			_ = a.Insert([]int64{i}, i)
+			_ = b.Insert([]int64{i}, i)
+		}
+		return db
+	}
+	q := "SELECT A.v, B.w FROM A, B WHERE A.i = B.i"
+
+	db := open()
+	ref, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.PlanSource != "full" {
+		t.Errorf("default PlanSource = %q, want full", ref.PlanSource)
+	}
+
+	pc := NewPlanCache()
+	cold, err := db.Query(q, WithPlanCache(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PlanSource != "full" {
+		t.Errorf("cold PlanSource = %q, want full", cold.PlanSource)
+	}
+	hit, err := db.Query(q, WithPlanCache(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.PlanSource != "cached" {
+		t.Errorf("hit PlanSource = %q, want cached", hit.PlanSource)
+	}
+	st := pc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Rejects != 0 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 0 rejects", st)
+	}
+	for tag, res := range map[string]*Result{"cold": cold, "hit": hit} {
+		if res.Matches != ref.Matches || !reflect.DeepEqual(res.Cells(), ref.Cells()) {
+			t.Errorf("%s: cached path changed query output", tag)
+		}
+		if res.CellsMoved != ref.CellsMoved || res.CompareSeconds != ref.CompareSeconds {
+			t.Errorf("%s: cached path changed modeled execution", tag)
+		}
+	}
+
+	greedy, err := db.Query(q, WithGreedyPlanning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.PlanSource != "greedy" && greedy.PlanSource != "full" {
+		t.Errorf("greedy PlanSource = %q", greedy.PlanSource)
+	}
+	if greedy.PlanSource == "greedy" && greedy.PlanRegret < 0 {
+		t.Errorf("PlanRegret = %g, want >= 0", greedy.PlanRegret)
+	}
+	if greedy.Matches != ref.Matches || !reflect.DeepEqual(greedy.Cells(), ref.Cells()) {
+		t.Error("greedy planning changed query output")
+	}
+
+	if _, err := db.Query(q, WithPlanCache(nil)); err == nil {
+		t.Error("nil plan cache should error")
+	}
+	if _, err := db.Query(q, WithGreedyPlanning(-0.5)); err == nil {
+		t.Error("non-positive epsilon should error")
+	}
+}

@@ -6,6 +6,7 @@
 //	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10|planquality|beyond]
 //	          [-scale small|full] [-seed N] [-budget DUR]
 //	          [-trace FILE] [-metrics] [-json FILE] [-gate]
+//	          [-obs-addr ADDR] [-slow-ms N] [-obs-hold DUR]
 //
 // "planquality" is the greedy-vs-ILP calibration sweep behind the plan
 // cache's regret policy: per Zipf skew level and join algorithm it
@@ -27,6 +28,12 @@
 // (fig5/fig6, fig9, adversarial) into one Chrome trace-event JSON file,
 // loadable in Perfetto; -metrics prints the accumulated metric registry
 // as JSON. Both match the cmd/shufflejoin flags of the same names.
+//
+// -obs-addr serves live telemetry over HTTP while the experiments run:
+// /metrics (Prometheus text format), /debug/queries (profiled query
+// log; -slow-ms sets the slow-query threshold), and /debug/inflight
+// (per-stage progress). -obs-hold keeps the endpoint up after the last
+// experiment so scrapers can collect the final state.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 
 	"shufflejoin/internal/bench"
 	"shufflejoin/internal/obs"
+	"shufflejoin/internal/obshttp"
 )
 
 func main() {
@@ -53,17 +61,38 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print the accumulated query metric registry as JSON")
 		jsonFile    = flag.String("json", "", "planquality: write the sweep rows and summary as JSON to this file")
 		gate        = flag.Bool("gate", false, "planquality: exit non-zero when the sweep violates the plan-quality acceptance criteria (greedy makespan ratio, cache-hit budget)")
+		obsAddr     = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight); e.g. :8080 or :0")
+		slowMs      = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries")
+		obsHold     = flag.Duration("obs-hold", 0, "keep the telemetry endpoint up this long after the experiments finish")
 	)
 	flag.Parse()
 
 	var tr *obs.Trace
-	if *traceFile != "" || *metrics {
+	if *traceFile != "" || *metrics || *obsAddr != "" {
 		tr = obs.New("expdriver")
+	}
+	var hub *obshttp.Hub
+	if *obsAddr != "" {
+		hub = obshttp.NewHub(obshttp.Config{
+			Registry:  tr.Metrics(),
+			SlowQuery: time.Duration(*slowMs * float64(time.Millisecond)),
+		})
+		addr, err := hub.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer hub.Close()
+		fmt.Printf("telemetry on http://%s/metrics (also /debug/queries, /debug/inflight)\n", addr)
 	}
 
 	cfg := bench.Config{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par}
 	rcfg := bench.RealConfig{Seed: *seed, ILPMaxExplored: *maxExplored, Workers: *par, Trace: tr}
 	lcfg := bench.LogicalConfig{Seed: *seed, Trace: tr}
+	if hub != nil {
+		rcfg.Hooks = hub
+		lcfg.Hooks = hub
+	}
 	switch *scale {
 	case "small":
 		cfg.Units = 256
@@ -253,5 +282,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if hub != nil && *obsHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %s\n", *obsHold)
+		time.Sleep(*obsHold)
 	}
 }

@@ -37,6 +37,10 @@ func main() {
 		explain = flag.Bool("explain", false, "print the optimizer's candidate plans instead of executing")
 		trace   = flag.String("trace", "", "write the query trace as Chrome trace-event JSON to this file (load in Perfetto) and print the trace summary")
 		metrics = flag.Bool("metrics", false, "print the query's metric registry as JSON")
+		analyze = flag.Bool("analyze", false, "print the query's EXPLAIN ANALYZE profile (per-stage timings, plan provenance, per-node skew)")
+		obsAddr = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight); e.g. :8080 or :0")
+		slowMs  = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries")
+		obsHold = flag.Duration("obs-hold", 0, "keep the telemetry endpoint up this long after the query finishes")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -81,8 +85,24 @@ func main() {
 	if *strict {
 		opts = append(opts, shufflejoin.WithStrictBounds())
 	}
-	if *trace != "" || *metrics {
+	if *trace != "" || *metrics || *obsAddr != "" {
 		opts = append(opts, shufflejoin.WithTrace())
+	}
+	if *analyze {
+		opts = append(opts, shufflejoin.WithProfile())
+	}
+	var hub *shufflejoin.ObsHub
+	if *obsAddr != "" {
+		hub = db.NewObsHub(shufflejoin.ObsConfig{
+			SlowQuery: time.Duration(*slowMs * float64(time.Millisecond)),
+		})
+		addr, err := hub.Serve(*obsAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer hub.Close()
+		fmt.Printf("telemetry on http://%s/metrics (also /debug/queries, /debug/inflight)\n", addr)
+		opts = append(opts, shufflejoin.WithQueryLog(hub))
 	}
 
 	if *explain {
@@ -136,6 +156,13 @@ func main() {
 		if err := res.MetricsJSON(os.Stdout); err != nil {
 			fail(err)
 		}
+	}
+	if *analyze && res.Profile != nil {
+		fmt.Printf("\n%s", res.Profile)
+	}
+	if hub != nil && *obsHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %s\n", *obsHold)
+		time.Sleep(*obsHold)
 	}
 
 	if *sample > 0 {

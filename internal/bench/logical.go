@@ -26,6 +26,10 @@ type LogicalConfig struct {
 	// Trace, when set, receives every query's pipeline spans and metrics
 	// (all queries share the one trace; counters accumulate across them).
 	Trace *obs.Trace
+	// Hooks, when set, observes every query the experiment executes (the
+	// obshttp Hub: /debug/inflight while running, the /debug/queries log
+	// when finished).
+	Hooks pipeline.QueryHooks
 }
 
 func (c LogicalConfig) withDefaults() LogicalConfig {
@@ -88,9 +92,11 @@ func RunLogical(cfg LogicalConfig) ([]LogicalMeasurement, error) {
 			c.Load(b.Clone(), cluster.RoundRobin)
 			start := time.Now()
 			rep, err := pipeline.Run(c, "A", "B", pred, outSchema, pipeline.Options{
-				ForceAlgo: &algo,
-				Logical:   logical.PlanOptions{Selectivity: sel},
-				Trace:     cfg.Trace,
+				ForceAlgo:  &algo,
+				Logical:    logical.PlanOptions{Selectivity: sel},
+				Trace:      cfg.Trace,
+				Hooks:      cfg.Hooks,
+				QueryLabel: fmt.Sprintf("logical A ⋈ B [sel=%g, %s]", sel, algo),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: sel=%v algo=%v: %w", sel, algo, err)

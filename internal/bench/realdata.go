@@ -29,6 +29,10 @@ type RealConfig struct {
 	// Trace, when set, receives every query's pipeline spans and metrics
 	// (all queries share the one trace; counters accumulate across them).
 	Trace *obs.Trace
+	// Hooks, when set, observes every query the experiment executes (the
+	// obshttp Hub: /debug/inflight while running, the /debug/queries log
+	// when finished).
+	Hooks pipeline.QueryHooks
 }
 
 func (c RealConfig) withDefaults() RealConfig {
@@ -150,9 +154,11 @@ func runReal(cfg RealConfig, left, right *array.Array, pred join.Predicate, out 
 		c.Load(left.Clone(), cluster.RoundRobin)
 		c.Load(right.Clone(), cluster.HashChunks)
 		rep, err := pipeline.Run(c, left.Schema.Name, right.Schema.Name, pred, out, pipeline.Options{
-			Planner:   planners[name],
-			ForceAlgo: &algo,
-			Trace:     cfg.Trace,
+			Planner:    planners[name],
+			ForceAlgo:  &algo,
+			Trace:      cfg.Trace,
+			Hooks:      cfg.Hooks,
+			QueryLabel: fmt.Sprintf("real %s ⋈ %s [%s planner]", left.Schema.Name, right.Schema.Name, name),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: planner %s: %w", name, err)

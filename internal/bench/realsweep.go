@@ -25,6 +25,10 @@ type RealSweepConfig struct {
 	// Trace, when set, receives every query's pipeline spans and metrics
 	// (all queries share the one trace; counters accumulate across them).
 	Trace *obs.Trace
+	// Hooks, when set, observes every query the experiment executes (the
+	// obshttp Hub: /debug/inflight while running, the /debug/queries log
+	// when finished).
+	Hooks pipeline.QueryHooks
 }
 
 func (c RealSweepConfig) withDefaults() RealSweepConfig {
@@ -80,9 +84,11 @@ func RealSkewSweep(cfg RealSweepConfig) ([]PhysMeasurement, error) {
 			c.Load(a.Clone(), cluster.RoundRobin)
 			c.Load(b.Clone(), cluster.HashChunks)
 			rep, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
-				Planner:   planners[name],
-				ForceAlgo: &algo,
-				Trace:     cfg.Trace,
+				Planner:    planners[name],
+				ForceAlgo:  &algo,
+				Trace:      cfg.Trace,
+				Hooks:      cfg.Hooks,
+				QueryLabel: fmt.Sprintf("skew sweep α=%g [%s planner]", alpha, name),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: real sweep alpha=%v planner=%s: %w", alpha, name, err)

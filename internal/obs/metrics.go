@@ -165,6 +165,68 @@ func (h *Histogram) Observe(v float64) {
 	h.r.mu.Unlock()
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the fixed buckets, interpolating linearly within the
+// bucket the quantile falls in (the histogram_quantile convention). The
+// first bucket's lower edge and the +Inf bucket's upper edge are taken
+// from the observed min and max, so single-bucket histograms and tail
+// quantiles stay within the observed range. Returns NaN when nothing has
+// been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.m.quantile(q)
+}
+
+// P50 is Quantile(0.50), the median estimate.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 is Quantile(0.95).
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// quantile is Quantile with the registry lock held.
+func (m *metric) quantile(q float64) float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return m.min
+	}
+	if q >= 1 {
+		return m.max
+	}
+	target := q * float64(m.n)
+	var cum float64
+	for i, c := range m.hist {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo := m.min
+			if i > 0 && m.buckets[i-1] > lo {
+				lo = m.buckets[i-1]
+			}
+			hi := m.max
+			if i < len(m.buckets) && m.buckets[i] < hi {
+				hi = m.buckets[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (target-cum)/float64(c)*(hi-lo)
+		}
+		cum = next
+	}
+	return m.max
+}
+
 // PowersOf2Buckets returns bucket bounds 1, 2^s, 2^2s, ... covering counts
 // up to about 2^(s*n); the standard shape for cells-per-unit style skew
 // histograms.
@@ -323,7 +385,8 @@ func (r *Registry) WriteTable(w io.Writer) {
 		case kindHistogram:
 			fmt.Fprintf(w, "%-*s n=%d sum=%.6g", width, name, m.n, m.sum)
 			if m.n > 0 {
-				fmt.Fprintf(w, " min=%.6g max=%.6g", m.min, m.max)
+				fmt.Fprintf(w, " min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g",
+					m.min, m.max, m.quantile(0.50), m.quantile(0.95), m.quantile(0.99))
 			}
 			fmt.Fprintln(w)
 		}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into a legal Prometheus
+// metric name: the engine's `component.metric_name` convention maps to
+// `component_metric_name`, and any other character outside
+// [a-zA-Z0-9_:] becomes '_'. A leading digit is prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order. Counters and gauges map
+// directly; a histogram h becomes a Prometheus histogram (cumulative
+// `h_bucket{le="..."}` series, `h_sum`, `h_count`) plus summary gauges
+// `h_min`, `h_max`, and bucket-interpolated `h_p50`/`h_p95`/`h_p99` —
+// the percentile view, not just the raw bucket dump.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		m := r.m[name]
+		pn := PromName(name)
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.count)
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, m.gauge)
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			var cum int64
+			for i, c := range m.hist {
+				cum += c
+				le := "+Inf"
+				if i < len(m.buckets) {
+					le = fmt.Sprintf("%g", m.buckets[i])
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, m.sum, pn, m.n); err != nil {
+				return err
+			}
+			if m.n > 0 {
+				_, err = fmt.Fprintf(w, "%s_min %g\n%s_max %g\n%s_p50 %g\n%s_p95 %g\n%s_p99 %g\n",
+					pn, m.min, pn, m.max,
+					pn, m.quantile(0.50), pn, m.quantile(0.95), pn, m.quantile(0.99))
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"plancache.hit":      "plancache_hit",
+		"node02.send_secs":   "node02_send_secs",
+		"align.makespan":     "align_makespan",
+		"9lives":             "_9lives",
+		"weird-name/metric ": "weird_name_metric_",
+		"ok_name:sub":        "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("query.count").Add(3)
+	r.Gauge("compare.skew").Set(1.5)
+	h := r.Histogram("units.cells", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# TYPE query_count counter",
+		"query_count 3",
+		"# TYPE compare_skew gauge",
+		"compare_skew 1.5",
+		"# TYPE units_cells histogram",
+		`units_cells_bucket{le="10"} 1`,
+		`units_cells_bucket{le="100"} 2`,
+		`units_cells_bucket{le="+Inf"} 3`,
+		"units_cells_sum 555",
+		"units_cells_count 3",
+		"units_cells_min 5",
+		"units_cells_max 500",
+		"units_cells_p50 ",
+		"units_cells_p95 ",
+		"units_cells_p99 ",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("prometheus output missing %q:\n%s", w, out)
+		}
+	}
+
+	// A disabled registry writes nothing and does not error.
+	var nilReg *Registry
+	var nb strings.Builder
+	if err := nilReg.WritePrometheus(&nb); err != nil || nb.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, nb.String())
+	}
+}

@@ -1,0 +1,316 @@
+// Package obshttp is the engine's live telemetry endpoint: an HTTP
+// surface over the observability layer that serves
+//
+//	/metrics         — the metrics registry in Prometheus text format
+//	/debug/queries   — a ring-buffer query log with EXPLAIN ANALYZE
+//	                   profiles and a configurable slow-query threshold
+//	/debug/inflight  — per-stage progress of currently running queries
+//
+// The Hub at the center implements pipeline.QueryHooks: attach it to a
+// query's Options.Hooks (the facade's WithQueryLog does this) and every
+// execution registers its live Progress tracker on start and folds its
+// profiled Report into the query log on finish. The Hub is safe for
+// concurrent queries and concurrent HTTP reads; it never blocks the
+// orchestration goroutine beyond a mutex-guarded ring append.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
+)
+
+// Config parameterizes a Hub.
+type Config struct {
+	// Registry backs /metrics. Typically the DB's cumulative registry or
+	// an experiment driver's shared trace registry. A nil registry serves
+	// an empty exposition.
+	Registry *obs.Registry
+	// QueryLogCapacity bounds the /debug/queries ring buffer; once full,
+	// the oldest entry is evicted. Defaults to 128.
+	QueryLogCapacity int
+	// SlowQuery marks query-log entries whose wall time reaches the
+	// threshold as slow (Entry.Slow, and the slow_queries counter in the
+	// /debug/queries header). Zero disables slow marking.
+	SlowQuery time.Duration
+}
+
+// Hub collects live telemetry and serves it over HTTP. Create with
+// NewHub, attach to queries via pipeline Options.Hooks, and expose with
+// Serve (or mount Handler on an existing mux).
+type Hub struct {
+	cfg Config
+	log *QueryLog
+
+	mu       sync.Mutex
+	seq      uint64
+	inflight map[*pipeline.Progress]uint64
+
+	srvMu sync.Mutex
+	srv   *http.Server
+	ln    net.Listener
+}
+
+// NewHub returns a Hub with the given configuration.
+func NewHub(cfg Config) *Hub {
+	if cfg.QueryLogCapacity <= 0 {
+		cfg.QueryLogCapacity = 128
+	}
+	return &Hub{
+		cfg:      cfg,
+		log:      newQueryLog(cfg.QueryLogCapacity),
+		inflight: make(map[*pipeline.Progress]uint64),
+	}
+}
+
+// Log returns the hub's query log.
+func (h *Hub) Log() *QueryLog { return h.log }
+
+// QueryStarted implements pipeline.QueryHooks: the query's Progress
+// tracker becomes visible on /debug/inflight.
+func (h *Hub) QueryStarted(p *pipeline.Progress) {
+	h.mu.Lock()
+	h.seq++
+	h.inflight[p] = h.seq
+	h.mu.Unlock()
+}
+
+// QueryFinished implements pipeline.QueryHooks: the query leaves
+// /debug/inflight and its profiled report is appended to the query log.
+func (h *Hub) QueryFinished(p *pipeline.Progress, rep *pipeline.Report, err error) {
+	h.mu.Lock()
+	id := h.inflight[p]
+	delete(h.inflight, p)
+	h.mu.Unlock()
+
+	snap := p.Snapshot()
+	e := Entry{
+		Seq:         id,
+		Query:       snap.Query,
+		Start:       snap.Start,
+		WallSeconds: snap.ElapsedSeconds,
+		Slow:        h.cfg.SlowQuery > 0 && snap.ElapsedSeconds >= h.cfg.SlowQuery.Seconds(),
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	if rep != nil {
+		e.PlanSeconds = rep.PlanTime
+		e.AlignSeconds = rep.AlignTime
+		e.CompareSeconds = rep.CompareTime
+		e.ModeledSeconds = rep.Total
+		e.Matches = rep.Matches
+		e.CellsMoved = rep.CellsMoved
+		e.Planner = rep.Physical.Planner
+		e.Algorithm = rep.Logical.Algo.String()
+		e.PlanSource = rep.PlanSource
+		e.PlanRegret = rep.PlanRegret
+		e.Skew = rep.Skew
+		e.StragglerNode = rep.StragglerNode
+		e.LockWaitSeconds = rep.LockWaitSeconds
+		e.Profile = rep.Profile
+	}
+	h.log.add(e)
+}
+
+// Entry is one finished query in the /debug/queries log.
+type Entry struct {
+	Seq             uint64            `json:"seq"`
+	Query           string            `json:"query,omitempty"`
+	Start           time.Time         `json:"start"`
+	WallSeconds     float64           `json:"wall_seconds"`
+	PlanSeconds     float64           `json:"plan_seconds"`
+	AlignSeconds    float64           `json:"align_seconds"`
+	CompareSeconds  float64           `json:"compare_seconds"`
+	ModeledSeconds  float64           `json:"modeled_seconds"`
+	Matches         int64             `json:"matches"`
+	CellsMoved      int64             `json:"cells_moved"`
+	Planner         string            `json:"planner,omitempty"`
+	Algorithm       string            `json:"algorithm,omitempty"`
+	PlanSource      string            `json:"plan_source,omitempty"`
+	PlanRegret      float64           `json:"plan_regret,omitempty"`
+	Skew            float64           `json:"skew"`
+	StragglerNode   int               `json:"straggler_node"`
+	LockWaitSeconds float64           `json:"lock_wait_seconds"`
+	Slow            bool              `json:"slow"`
+	Error           string            `json:"error,omitempty"`
+	Profile         *pipeline.Profile `json:"profile,omitempty"`
+}
+
+// QueryLog is a fixed-capacity ring buffer of finished queries.
+type QueryLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []Entry
+	next    int
+	total   uint64
+	slow    uint64
+}
+
+func newQueryLog(capacity int) *QueryLog {
+	return &QueryLog{cap: capacity}
+}
+
+func (l *QueryLog) add(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if e.Slow {
+		l.slow++
+	}
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *QueryLog) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Len returns the number of retained entries; Total the number ever
+// logged (retained + evicted); Slow the number marked slow.
+func (l *QueryLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Total returns the number of queries ever logged.
+func (l *QueryLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Slow returns the number of queries marked slow.
+func (l *QueryLog) Slow() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slow
+}
+
+// Handler returns the hub's HTTP mux: /metrics, /debug/queries,
+// /debug/inflight.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/debug/queries", h.handleQueries)
+	mux.HandleFunc("/debug/inflight", h.handleInflight)
+	return mux
+}
+
+func (h *Hub) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := h.cfg.Registry.WritePrometheus(w); err != nil {
+		// Headers are sent; nothing to do beyond dropping the connection.
+		return
+	}
+}
+
+// queriesPayload is the /debug/queries response shape.
+type queriesPayload struct {
+	Total       uint64  `json:"total"`
+	SlowQueries uint64  `json:"slow_queries"`
+	Capacity    int     `json:"capacity"`
+	SlowMs      float64 `json:"slow_threshold_ms"`
+	Queries     []Entry `json:"queries"`
+}
+
+func (h *Hub) handleQueries(w http.ResponseWriter, r *http.Request) {
+	entries := h.log.Entries()
+	// Newest first: the interesting queries are the recent ones.
+	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
+		entries[i], entries[j] = entries[j], entries[i]
+	}
+	if r.URL.Query().Get("slow") == "1" {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Slow {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	writeJSON(w, queriesPayload{
+		Total:       h.log.Total(),
+		SlowQueries: h.log.Slow(),
+		Capacity:    h.log.cap,
+		SlowMs:      h.cfg.SlowQuery.Seconds() * 1000,
+		Queries:     entries,
+	})
+}
+
+// inflightEntry is one running query in the /debug/inflight response.
+type inflightEntry struct {
+	ID uint64 `json:"id"`
+	pipeline.ProgressSnapshot
+}
+
+func (h *Hub) handleInflight(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	running := make([]inflightEntry, 0, len(h.inflight))
+	for p, id := range h.inflight {
+		running = append(running, inflightEntry{ID: id, ProgressSnapshot: p.Snapshot()})
+	}
+	h.mu.Unlock()
+	sort.Slice(running, func(i, j int) bool { return running[i].ID < running[j].ID })
+	writeJSON(w, struct {
+		Running []inflightEntry `json:"running"`
+	}{running})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves the
+// hub's handler in a background goroutine until Close. It returns the
+// bound address.
+func (h *Hub) Serve(addr string) (string, error) {
+	h.srvMu.Lock()
+	defer h.srvMu.Unlock()
+	if h.ln != nil {
+		return "", fmt.Errorf("obshttp: hub already serving on %s", h.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obshttp: %w", err)
+	}
+	h.ln = ln
+	h.srv = &http.Server{Handler: h.Handler()}
+	go h.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP listener, if Serve was called.
+func (h *Hub) Close() error {
+	h.srvMu.Lock()
+	defer h.srvMu.Unlock()
+	if h.srv == nil {
+		return nil
+	}
+	err := h.srv.Close()
+	h.srv, h.ln = nil, nil
+	return err
+}

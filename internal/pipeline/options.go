@@ -85,6 +85,20 @@ type Options struct {
 	// falling back to Planner when the greedy plan's predicted regret
 	// against the analytic lower bound exceeds the policy's ε.
 	PlanPolicy *plancache.Policy
+	// Profile makes Execute assemble an EXPLAIN ANALYZE Profile into
+	// Report.Profile after the last stage: per-stage timings, plan
+	// provenance and candidate costs, shuffle totals, and per-node skew
+	// diagnostics. Hooks imply Profile.
+	Profile bool
+	// Hooks, when non-nil, observes the query's lifecycle: QueryStarted
+	// receives a live Progress tracker before the first stage, and
+	// QueryFinished the final Report (profiled — Hooks imply Profile)
+	// after the last. The obshttp Hub implements this to serve
+	// /debug/inflight and the /debug/queries log.
+	Hooks QueryHooks
+	// QueryLabel identifies the query in profiles, progress trackers, and
+	// query logs (typically the AQL text or an experiment label).
+	QueryLabel string
 }
 
 // workers resolves the Parallelism knob to an effective worker count.
@@ -166,6 +180,23 @@ type Report struct {
 	// analytic lower bound, when the greedy fast path ran; zero
 	// otherwise (PhysicalPlan stage).
 	PlanRegret float64
+	// CacheOutcome records the plan cache's verdict for this query:
+	// "hit", "miss", or "revalidate-reject" (a signature hit whose stored
+	// assignment failed revalidation against fresh statistics). Empty
+	// when no cache was attached (LogicalPlan/PhysicalPlan stages).
+	CacheOutcome string
+
+	// Stages is the per-stage timing log, in execution order: wall
+	// seconds (nondeterministic) and the simulated seconds each stage
+	// contributed to the modeled makespan (deterministic; the align and
+	// compare stages' entries sum to AlignTime + CompareTime). Populated
+	// by Execute for every query.
+	Stages []StageTiming
+
+	// Profile is the query's EXPLAIN ANALYZE digest, assembled after the
+	// last stage when Options.Profile (or Options.Hooks) is set; nil
+	// otherwise (Execute).
+	Profile *Profile
 
 	// Modeled phase durations in seconds, mirroring the paper's figures:
 	// PlanTime is real planning wall-time (PhysicalPlan stage); AlignTime

@@ -44,6 +44,7 @@ import (
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/plancache"
 	"shufflejoin/internal/shuffle"
@@ -116,14 +117,59 @@ func NewQueryContext(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.
 	}
 }
 
-// Execute runs the stages in order, stopping at the first error.
+// Execute runs the stages in order, stopping at the first error. Around
+// the stages it maintains the query's observability surface: per-stage
+// timings into Report.Stages (wall seconds plus the deterministic
+// simulated seconds each stage added to the modeled makespan), a live
+// Progress tracker delivered to Options.Hooks, and — when profiling is
+// enabled — the EXPLAIN ANALYZE Profile assembled into Report.Profile
+// after the last stage.
 func Execute(qc *QueryContext, stages []Stage) error {
+	opt := qc.Opt
+	var prog *Progress
+	if opt.Hooks != nil {
+		prog = newProgress(opt.QueryLabel)
+		opt.Hooks.QueryStarted(prog)
+	}
+	var execErr error
 	for _, st := range stages {
-		if err := st.Run(qc); err != nil {
-			return err
+		start := time.Now()
+		prog.stageStarted(st.Name())
+		alignBefore, compareBefore := qc.Report.AlignTime, qc.Report.CompareTime
+		err := st.Run(qc)
+		wall := time.Since(start)
+		qc.Report.Stages = append(qc.Report.Stages, StageTiming{
+			Stage:       st.Name(),
+			WallSeconds: wall.Seconds(),
+			SimSeconds:  (qc.Report.AlignTime - alignBefore) + (qc.Report.CompareTime - compareBefore),
+		})
+		prog.stageFinished(wall)
+		if err != nil {
+			execErr = err
+			break
 		}
 	}
-	return nil
+	if execErr == nil && (opt.Profile || opt.Hooks != nil) {
+		qc.Report.Profile = buildProfile(qc)
+	}
+	if tr := opt.Trace; tr.Enabled() {
+		reg := tr.Metrics()
+		reg.Counter("pipeline.query_count").Add(1)
+		if execErr != nil {
+			reg.Counter("pipeline.query_errors").Add(1)
+		} else {
+			// Align+compare, not Report.Total: Total folds in real
+			// planning wall-time, and the histogram must stay
+			// bit-identical at every Parallelism setting (trace
+			// fingerprints hash it exactly).
+			reg.Histogram("pipeline.modeled_seconds", obs.PowersOf2Buckets(1, 12)).Observe(qc.Report.AlignTime + qc.Report.CompareTime)
+		}
+	}
+	if prog != nil {
+		prog.finish(execErr != nil)
+		opt.Hooks.QueryFinished(prog, qc.Report, execErr)
+	}
+	return execErr
 }
 
 // Run executes τ = left ⋈ right over the cluster through the full

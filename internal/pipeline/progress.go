@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryHooks observes the lifecycle of queries executed through the
+// pipeline. Set on Options.Hooks, a hooks implementation receives each
+// query's live Progress tracker when execution starts and the finished
+// Report (with its Profile — hooks imply profiling) when it ends. The
+// obshttp Hub implements this interface to back /debug/inflight and the
+// /debug/queries log; custom schedulers can implement it to meter
+// admission.
+//
+// Both methods are called from the query's orchestration goroutine, so a
+// hooks implementation shared across concurrent queries must be
+// internally synchronized.
+type QueryHooks interface {
+	// QueryStarted delivers the query's Progress tracker before the first
+	// stage runs. The tracker is live: Snapshot may be called from any
+	// goroutine while the query executes.
+	QueryStarted(p *Progress)
+	// QueryFinished delivers the final report (nil Profile on error) after
+	// the last stage — or the failing stage — returns.
+	QueryFinished(p *Progress, rep *Report, err error)
+}
+
+// Progress tracks one in-flight query's position in the six-stage
+// pipeline. The orchestration goroutine appends a StageProgress as each
+// stage starts and closes it when the stage returns; Snapshot can be read
+// concurrently from HTTP handlers or schedulers. A nil *Progress is a
+// valid disabled instance.
+type Progress struct {
+	// Label identifies the query (the AQL text or an experiment label);
+	// set from Options.QueryLabel.
+	Label string
+	// Start is when execution began (wall clock).
+	Start time.Time
+
+	mu     sync.Mutex
+	stages []StageProgress
+	done   bool
+	failed bool
+}
+
+// StageProgress is one stage's entry in a Progress (and in
+// ProgressSnapshot.Stages): the stage name, whether it has finished, and
+// its wall duration once done. Wall durations are nondeterministic.
+type StageProgress struct {
+	Stage       string  `json:"stage"`
+	Done        bool    `json:"done"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// ProgressSnapshot is a point-in-time copy of a Progress, safe to retain
+// and serialize.
+type ProgressSnapshot struct {
+	Query          string          `json:"query"`
+	Start          time.Time       `json:"start"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Done           bool            `json:"done"`
+	Failed         bool            `json:"failed"`
+	CurrentStage   string          `json:"current_stage,omitempty"`
+	Stages         []StageProgress `json:"stages"`
+}
+
+// NewProgress returns a live tracker for a query labeled label, started
+// now. Execute creates one per hooked query; exported so hook
+// implementations (and their tests) can drive the interface directly.
+func NewProgress(label string) *Progress {
+	return &Progress{Label: label, Start: time.Now()}
+}
+
+func newProgress(label string) *Progress { return NewProgress(label) }
+
+// stageStarted opens a new stage entry.
+func (p *Progress) stageStarted(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stages = append(p.stages, StageProgress{Stage: name})
+	p.mu.Unlock()
+}
+
+// stageFinished closes the most recently started stage.
+func (p *Progress) stageFinished(wall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if n := len(p.stages); n > 0 {
+		p.stages[n-1].Done = true
+		p.stages[n-1].WallSeconds = wall.Seconds()
+	}
+	p.mu.Unlock()
+}
+
+// finish marks the query complete.
+func (p *Progress) finish(failed bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done = true
+	p.failed = failed
+	p.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the tracker's current state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Query:          p.Label,
+		Start:          p.Start,
+		ElapsedSeconds: time.Since(p.Start).Seconds(),
+		Done:           p.done,
+		Failed:         p.failed,
+		Stages:         append([]StageProgress(nil), p.stages...),
+	}
+	if !p.done {
+		for i := len(p.stages) - 1; i >= 0; i-- {
+			if !p.stages[i].Done {
+				s.CurrentStage = p.stages[i].Stage
+				break
+			}
+		}
+	}
+	return s
+}

@@ -40,9 +40,11 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 			qc.Report.Logical = lp
 			qc.Report.Selectivity = e.Selectivity
 			qc.Report.PlanSource = PlanSourceCached
+			qc.Report.CacheOutcome = "hit"
 			return nil
 		}
 		opt.Trace.Metrics().Counter("plancache.miss").Add(1)
+		qc.Report.CacheOutcome = "miss"
 	}
 	src, err := logical.ResolveSources(qc.Left.Array.Schema, qc.Right.Array.Schema, qc.Out, qc.Pred)
 	if err != nil {
@@ -237,6 +239,7 @@ func planAssignment(qc *QueryContext, pr *physical.Problem) (physical.Result, er
 		// the logical choice depends only on signature inputs.
 		opt.Cache.RecordReject(qc.sig)
 		opt.Trace.Metrics().Counter("plancache.revalidate_reject").Add(1)
+		rep.CacheOutcome = "revalidate-reject"
 		qc.cached = nil
 		rep.PlanSource = PlanSourceGreedy
 		if opt.PlanPolicy == nil {

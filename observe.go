@@ -1,0 +1,94 @@
+package shufflejoin
+
+import (
+	"fmt"
+	"time"
+
+	"shufflejoin/internal/obshttp"
+	"shufflejoin/internal/pipeline"
+)
+
+// Profile is a query's EXPLAIN ANALYZE digest: per-stage wall and
+// simulated timings, plan provenance (source, regret, cache outcome,
+// every candidate plan with its modeled costs), shuffle transfer totals,
+// and per-node skew diagnostics. Render it human-readable with String,
+// or machine-readable with WriteJSON; the per-stage simulated timings
+// sum exactly to MakespanSeconds and are bit-identical at every
+// Parallelism setting.
+type Profile = pipeline.Profile
+
+// ObsHub is a live telemetry endpoint for the database: it implements
+// the engine's query hooks and serves
+//
+//	/metrics         — cumulative metrics, Prometheus text format
+//	/debug/queries   — ring-buffer query log with profiles
+//	/debug/inflight  — per-stage progress of running queries
+//
+// Create one with DB.NewObsHub, attach it to queries with WithQueryLog,
+// and expose it with Serve (or mount Handler on an existing mux).
+type ObsHub = obshttp.Hub
+
+// ObsConfig configures DB.NewObsHub.
+type ObsConfig struct {
+	// QueryLogCapacity bounds the /debug/queries ring buffer (default 128).
+	QueryLogCapacity int
+	// SlowQuery marks log entries at or above the threshold as slow;
+	// zero disables slow marking.
+	SlowQuery time.Duration
+}
+
+// NewObsHub creates a telemetry hub backed by the database's cumulative
+// metrics registry. Queries run with WithQueryLog(hub) appear in the
+// hub's query log and in-flight view; /metrics additionally reflects
+// every query's folded trace metrics (see MetricsSnapshot).
+func (db *DB) NewObsHub(cfg ObsConfig) *ObsHub {
+	return obshttp.NewHub(obshttp.Config{
+		Registry:         db.metrics,
+		QueryLogCapacity: cfg.QueryLogCapacity,
+		SlowQuery:        cfg.SlowQuery,
+	})
+}
+
+// WithProfile makes the query assemble an EXPLAIN ANALYZE profile into
+// Result.Profile: per-stage timings, plan provenance and candidate
+// costs, shuffle totals, and per-node skew diagnostics. Profiling adds
+// no simulated cost and does not perturb the query's determinism
+// guarantees.
+func WithProfile() QueryOption {
+	return func(c *queryConfig) error {
+		c.profile = true
+		return nil
+	}
+}
+
+// WithQueryLog routes the query through a telemetry hub: it becomes
+// visible on the hub's /debug/inflight while running and lands in the
+// /debug/queries log — profiled — when it finishes. Attaching a hub
+// implies WithProfile.
+func WithQueryLog(hub *ObsHub) QueryOption {
+	return func(c *queryConfig) error {
+		if hub == nil {
+			return fmt.Errorf("shufflejoin: WithQueryLog needs a non-nil hub (use NewObsHub)")
+		}
+		c.hooks = hub
+		return nil
+	}
+}
+
+// ExplainAnalyze executes the query with profiling enabled and returns
+// its EXPLAIN ANALYZE profile — the executed counterpart of Explain:
+// actual per-stage timings, the plan that ran and every candidate it
+// beat, shuffle totals, and per-node skew.
+//
+//	p, _ := db.ExplainAnalyze("SELECT A.v, B.w FROM A, B WHERE A.i = B.i")
+//	fmt.Println(p)
+func (db *DB) ExplainAnalyze(q string, opts ...QueryOption) (*Profile, error) {
+	res, err := db.Query(q, append(opts, WithProfile())...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Profile == nil {
+		return nil, fmt.Errorf("shufflejoin: no profile for %q (multi-way queries are not profiled per-plan; inspect Result fields instead)", q)
+	}
+	return res.Profile, nil
+}

@@ -1,0 +1,170 @@
+package shufflejoin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// obsDB builds a small two-array database for the observability tests.
+func obsDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.CreateArray("A<v:int>[i=1,100,10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.CreateArray("B<w:int>[i=1,100,10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 100; i++ {
+		if err := a.Insert([]int64{i}, i%10); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert([]int64{i}, i%7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	db := obsDB(t)
+	p, err := db.ExplainAnalyze("SELECT A.v, B.w FROM A, B WHERE A.i = B.i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, st := range p.Stages {
+		sum += st.SimSeconds
+	}
+	if sum != p.MakespanSeconds {
+		t.Errorf("stage sims sum to %v, makespan %v", sum, p.MakespanSeconds)
+	}
+	if len(p.Stages) != 6 {
+		t.Errorf("%d stages, want 6", len(p.Stages))
+	}
+	s := p.String()
+	for _, want := range []string{"EXPLAIN ANALYZE", "stages", "nodes", "candidates"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultStringPlanProvenance(t *testing.T) {
+	db := obsDB(t)
+	res, err := db.Query("SELECT A.v, B.w FROM A, B WHERE A.i = B.i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanSource == "" {
+		t.Fatal("two-way query has no PlanSource")
+	}
+	if want := "plan_source=" + res.PlanSource; !strings.Contains(res.String(), want) {
+		t.Errorf("String() missing %q: %s", want, res)
+	}
+}
+
+func TestQueryLogEndpoints(t *testing.T) {
+	db := obsDB(t)
+	hub := db.NewObsHub(ObsConfig{})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	res, err := db.Query("SELECT A.v, B.w FROM A, B WHERE A.i = B.i",
+		WithQueryLog(hub), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("WithQueryLog did not imply profiling")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	// The DB registry always counts queries; the WithTrace registry folds
+	// in histogram metrics that exercise the bucket exposition.
+	for _, want := range []string{"query_count 1", "_bucket{le="} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var qp struct {
+		Total   uint64 `json:"total"`
+		Queries []struct {
+			Query   string          `json:"query"`
+			Matches int64           `json:"matches"`
+			Profile json.RawMessage `json:"profile"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/queries")), &qp); err != nil {
+		t.Fatal(err)
+	}
+	if qp.Total != 1 || len(qp.Queries) != 1 {
+		t.Fatalf("query log total=%d len=%d, want 1/1", qp.Total, len(qp.Queries))
+	}
+	if !strings.Contains(qp.Queries[0].Query, "SELECT") {
+		t.Errorf("log entry label %q does not carry the AQL text", qp.Queries[0].Query)
+	}
+	if qp.Queries[0].Matches != res.Matches {
+		t.Errorf("logged matches %d, result %d", qp.Queries[0].Matches, res.Matches)
+	}
+	if len(qp.Queries[0].Profile) == 0 || string(qp.Queries[0].Profile) == "null" {
+		t.Error("log entry has no profile")
+	}
+
+	var ip struct {
+		Running []json.RawMessage `json:"running"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/inflight")), &ip); err != nil {
+		t.Fatal(err)
+	}
+	if len(ip.Running) != 0 {
+		t.Errorf("finished query still in /debug/inflight")
+	}
+}
+
+// TestProfileDeterministicViaFacade is the facade-level acceptance
+// check: ExplainAnalyze profiles fingerprint identically across
+// Parallelism 1, 4, and 0.
+func TestProfileDeterministicViaFacade(t *testing.T) {
+	var base string
+	for i, par := range []int{1, 4, 0} {
+		db := obsDB(t)
+		p, err := db.ExplainAnalyze("SELECT A.v, B.w FROM A, B WHERE A.i = B.i",
+			WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := p.Fingerprint()
+		if i == 0 {
+			base = fp
+		} else if fp != base {
+			t.Errorf("profile fingerprint at par=%d diverges:\n--- base ---\n%s\n--- got ---\n%s", par, base, fp)
+		}
+	}
+}

@@ -92,6 +92,11 @@ type Result struct {
 	// (empty for two-way joins).
 	JoinOrder []string
 
+	// Profile is the query's EXPLAIN ANALYZE digest, populated when the
+	// query ran with WithProfile or WithQueryLog (nil otherwise, and nil
+	// for multi-way queries). See DB.ExplainAnalyze.
+	Profile *Profile
+
 	// Per-node diagnostics backing TraceSummary (node order; summed across
 	// steps for multi-way queries).
 	nodeCompare  []float64
@@ -125,6 +130,7 @@ func newResult(rep *pipeline.Report) *Result {
 		nodeSend:        rep.Align.SendBusy,
 		nodeRecv:        rep.Align.RecvBusy,
 		nodeLockWait:    rep.Align.RecvLockWait,
+		Profile:         rep.Profile,
 		output:          rep.Output,
 	}
 }
@@ -227,6 +233,12 @@ func (r *Result) Scan(fn func(Cell) bool) {
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d matches via %s [%s planner]", r.Matches, r.Plan, r.Planner)
+	if r.PlanSource != "" {
+		fmt.Fprintf(&b, " plan_source=%s", r.PlanSource)
+		if r.PlanRegret > 0 {
+			fmt.Fprintf(&b, " regret=%.3f", r.PlanRegret)
+		}
+	}
 	fmt.Fprintf(&b, " plan=%.3fs align=%.3fs compare=%.3fs total=%.3fs moved=%d cells",
 		r.PlanSeconds, r.AlignSeconds, r.CompareSeconds, r.TotalSeconds, r.CellsMoved)
 	if r.ClampedCells > 0 {

@@ -239,6 +239,8 @@ type queryConfig struct {
 	trace        *obs.Trace
 	cache        *plancache.Cache
 	policy       *plancache.Policy
+	profile      bool
+	hooks        pipeline.QueryHooks
 }
 
 // QueryOption customizes one Query call.
@@ -468,6 +470,9 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 		Trace:        cfg.trace,
 		Cache:        cfg.cache,
 		PlanPolicy:   cfg.policy,
+		Profile:      cfg.profile,
+		Hooks:        cfg.hooks,
+		QueryLabel:   q,
 	}
 	if cfg.policy != nil {
 		cfg.policy.Workers = par.Workers(cfg.parallelism)

@@ -430,6 +430,10 @@ func Cross(a, b *array.Array) (*array.Array, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Full materialization is legitimate here: the inner side is iterated
+	// |a| times, so a streaming re-scan per outer cell would re-decode b
+	// O(n_a) times for no memory win — the operator is exhaustive
+	// O(n_a·n_b) by definition and only used on small reference inputs.
 	bCells := b.Cells()
 	a.Scan(func(ac []int64, aa []array.Value) bool {
 		for _, bc := range bCells {
@@ -444,7 +448,9 @@ func Cross(a, b *array.Array) (*array.Array, error) {
 }
 
 // chunkTuples converts a chunk's cells into merge-join tuples keyed by
-// their coordinates.
+// their coordinates. Materialization here is bounded by one chunk — the
+// unit the merge join sorts — not a whole array, so it needs no
+// streaming treatment.
 func chunkTuples(ch *array.Chunk) []join.Tuple {
 	ts := make([]join.Tuple, ch.Len())
 	for row := 0; row < ch.Len(); row++ {

@@ -147,15 +147,31 @@ func (a *Array) Scan(fn func(coords []int64, attrs []Value) bool) {
 }
 
 // Cells materializes every stored cell (coords, attrs) in deterministic
-// order. Intended for tests and small arrays.
+// order. It is a thin collect-all wrapper over the pull-based Scanner —
+// full materialization is legitimate only for tests, small arrays, and
+// exhaustive operators; streaming consumers should use NewScanner (or
+// batch.ArraySource) instead.
 func (a *Array) Cells() []StoredCell {
 	out := make([]StoredCell, 0, a.CellCount())
-	a.Scan(func(coords []int64, attrs []Value) bool {
-		c := StoredCell{Coords: append([]int64(nil), coords...), Attrs: append([]Value(nil), attrs...)}
-		out = append(out, c)
-		return true
-	})
-	return out
+	sc := a.NewScanner(0)
+	for {
+		blk, ok := sc.Next()
+		if !ok {
+			return out
+		}
+		ch := blk.Chunk
+		for row := blk.From; row < blk.To; row++ {
+			coords := make([]int64, ch.NDims)
+			for d := 0; d < ch.NDims; d++ {
+				coords[d] = ch.Coords[d][row]
+			}
+			attrs := make([]Value, len(ch.Cols))
+			for i := range ch.Cols {
+				attrs[i] = ch.Cols[i].Value(row)
+			}
+			out = append(out, StoredCell{Coords: coords, Attrs: attrs})
+		}
+	}
 }
 
 // StoredCell is one materialized cell: coordinates plus attribute values.

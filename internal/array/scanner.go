@@ -1,0 +1,73 @@
+package array
+
+// CellBlock is a bounded, zero-copy columnar window over one stored
+// chunk: rows [From, To) of Chunk. It is the unit the pull-based
+// Scanner yields — consumers read coordinates and attribute values
+// straight out of the chunk's columns without materializing per-cell
+// slices.
+type CellBlock struct {
+	Chunk    *Chunk
+	From, To int
+}
+
+// Len returns the number of cells in the window.
+func (b CellBlock) Len() int { return b.To - b.From }
+
+// Coord returns the coordinate of dimension d for the i-th cell of the
+// window.
+func (b CellBlock) Coord(d, i int) int64 { return b.Chunk.Coords[d][b.From+i] }
+
+// Attr returns attribute a of the i-th cell of the window.
+func (b CellBlock) Attr(a, i int) Value { return b.Chunk.Cols[a].Value(b.From + i) }
+
+// Scanner is a pull iterator over an array's cells in the deterministic
+// scan order (chunk-key C-order, in-chunk row order) — the same order
+// Scan and Cells visit. Each Next returns the next window of at most
+// blockRows cells; windows never span chunks, so every window is a
+// contiguous columnar view into one chunk.
+type Scanner struct {
+	a         *Array
+	keys      []ChunkKey
+	ki        int // next key index
+	row       int // next row within the current chunk
+	cur       *Chunk
+	blockRows int
+}
+
+// DefaultBlockRows is the window size used when the caller passes 0.
+const DefaultBlockRows = 1024
+
+// NewScanner returns a scanner over a's cells. blockRows bounds the
+// window size (0 uses DefaultBlockRows).
+func (a *Array) NewScanner(blockRows int) *Scanner {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	return &Scanner{a: a, keys: a.SortedKeys(), blockRows: blockRows}
+}
+
+// Next returns the next window, or ok=false when the array is
+// exhausted.
+func (s *Scanner) Next() (CellBlock, bool) {
+	for {
+		if s.cur == nil {
+			if s.ki >= len(s.keys) {
+				return CellBlock{}, false
+			}
+			s.cur = s.a.Chunks[s.keys[s.ki]]
+			s.ki++
+			s.row = 0
+		}
+		if s.row >= s.cur.Len() {
+			s.cur = nil
+			continue
+		}
+		from := s.row
+		to := from + s.blockRows
+		if to > s.cur.Len() {
+			to = s.cur.Len()
+		}
+		s.row = to
+		return CellBlock{Chunk: s.cur, From: from, To: to}, true
+	}
+}

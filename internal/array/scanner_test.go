@@ -1,0 +1,107 @@
+package array
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// scannerArray builds a two-dimensional mixed-type array with randomly
+// occupied cells across several chunks.
+func scannerArray(t *testing.T, seed int64, n int) *Array {
+	t.Helper()
+	s := MustParseSchema("S<v:int, f:float, s:string>[i=1,40,10, j=1,40,10]")
+	a := MustNew(s)
+	rng := rand.New(rand.NewSource(seed))
+	type coord struct{ i, j int64 }
+	used := make(map[coord]bool)
+	labels := []string{"alpha", "beta", "gamma", "delta"}
+	for len(used) < n {
+		c := coord{rng.Int63n(40) + 1, rng.Int63n(40) + 1}
+		if used[c] {
+			continue
+		}
+		used[c] = true
+		a.MustPut([]int64{c.i, c.j}, []Value{
+			IntValue(rng.Int63n(100)),
+			FloatValue(rng.Float64()),
+			StringValue(labels[rng.Intn(len(labels))]),
+		})
+	}
+	a.SortAll()
+	return a
+}
+
+// collectScanner drains a scanner into StoredCells, copying every window.
+func collectScanner(a *Array, blockRows int) []StoredCell {
+	var out []StoredCell
+	sc := a.NewScanner(blockRows)
+	for {
+		blk, ok := sc.Next()
+		if !ok {
+			return out
+		}
+		for i := 0; i < blk.Len(); i++ {
+			c := StoredCell{Coords: make([]int64, len(a.Schema.Dims))}
+			for d := range c.Coords {
+				c.Coords[d] = blk.Coord(d, i)
+			}
+			for at := range a.Schema.Attrs {
+				c.Attrs = append(c.Attrs, blk.Attr(at, i))
+			}
+			out = append(out, c)
+		}
+	}
+}
+
+// TestScannerMatchesScan pins the Scanner's contract: for every window
+// size, the concatenated windows visit exactly the cells Scan visits, in
+// the same deterministic order, with bit-identical values.
+func TestScannerMatchesScan(t *testing.T) {
+	a := scannerArray(t, 1, 300)
+	var want []StoredCell
+	a.Scan(func(coords []int64, attrs []Value) bool {
+		want = append(want, StoredCell{
+			Coords: append([]int64(nil), coords...),
+			Attrs:  append([]Value(nil), attrs...),
+		})
+		return true
+	})
+	for _, rows := range []int{1, 3, 7, DefaultBlockRows, 1 << 20, 0} {
+		got := collectScanner(a, rows)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("blockRows=%d: scanner cells differ from Scan order", rows)
+		}
+	}
+}
+
+// TestScannerWindowsStayInChunk verifies windows never span chunks and
+// never exceed the requested size.
+func TestScannerWindowsStayInChunk(t *testing.T) {
+	a := scannerArray(t, 2, 250)
+	sc := a.NewScanner(7)
+	for {
+		blk, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if blk.Len() <= 0 || blk.Len() > 7 {
+			t.Fatalf("window of %d rows, want 1..7", blk.Len())
+		}
+		if blk.From < 0 || blk.To > blk.Chunk.Len() {
+			t.Fatalf("window [%d,%d) outside chunk of %d rows", blk.From, blk.To, blk.Chunk.Len())
+		}
+	}
+}
+
+// TestCellsMatchesScanner pins Cells() as a thin collect-all wrapper
+// over the scanner.
+func TestCellsMatchesScanner(t *testing.T) {
+	a := scannerArray(t, 3, 200)
+	if got, want := a.Cells(), collectScanner(a, 0); !reflect.DeepEqual(got, want) {
+		t.Error("Cells() differs from scanner collection")
+	}
+	if a.CellCount() != int64(len(a.Cells())) {
+		t.Errorf("CellCount = %d, Cells len = %d", a.CellCount(), len(a.Cells()))
+	}
+}

@@ -1,0 +1,170 @@
+package batch
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"shufflejoin/internal/array"
+)
+
+// TestBatchRoundTrip pins the columnar round trip: values appended into
+// a batch decode back bit-identically, including exact Value kinds.
+func TestBatchRoundTrip(t *testing.T) {
+	types := []array.ScalarType{array.TypeInt64, array.TypeFloat64, array.TypeString}
+	in := NewIntern()
+	b := New(2, types, 8)
+	cells := [][]array.Value{
+		{array.IntValue(7), array.FloatValue(1.5), array.StringValue("port")},
+		{array.IntValue(-3), array.FloatValue(0), array.StringValue("")},
+		{array.IntValue(7), array.FloatValue(-2.25), array.StringValue("port")},
+	}
+	for i, vals := range cells {
+		b.AppendCell([]int64{int64(i), int64(-i)}, vals, in)
+	}
+	if b.Len() != 3 || b.Full() {
+		t.Fatalf("Len=%d Full=%v, want 3,false", b.Len(), b.Full())
+	}
+	for i, vals := range cells {
+		if b.Coords[0][i] != int64(i) || b.Coords[1][i] != int64(-i) {
+			t.Errorf("cell %d coords = (%d,%d)", i, b.Coords[0][i], b.Coords[1][i])
+		}
+		for c := range vals {
+			if got := b.Cols[c].Value(i, in); !reflect.DeepEqual(got, vals[c]) {
+				t.Errorf("cell %d col %d = %#v, want %#v", i, c, got, vals[c])
+			}
+		}
+	}
+	// 3 cells × (2 coords + 3 values) × 8 bytes.
+	if got := b.Bytes(); got != 3*5*8 {
+		t.Errorf("Bytes = %d, want %d", got, 3*5*8)
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Bytes() != 0 {
+		t.Errorf("after Reset: Len=%d Bytes=%d", b.Len(), b.Bytes())
+	}
+}
+
+// TestInternDedup pins the dictionary: repeated strings share one code,
+// codes decode back exactly, and accounted bytes grow only on first
+// sight.
+func TestInternDedup(t *testing.T) {
+	in := NewIntern()
+	a1 := in.ID("anchorage")
+	b1 := in.ID("berth")
+	a2 := in.ID("anchorage")
+	if a1 != a2 {
+		t.Errorf("same string interned as %d and %d", a1, a2)
+	}
+	if a1 == b1 {
+		t.Errorf("distinct strings share code %d", a1)
+	}
+	if in.Str(a1) != "anchorage" || in.Str(b1) != "berth" {
+		t.Errorf("decode mismatch: %q, %q", in.Str(a1), in.Str(b1))
+	}
+	if in.Count() != 2 {
+		t.Errorf("Count = %d, want 2", in.Count())
+	}
+	after2 := in.Bytes()
+	in.ID("anchorage")
+	if in.Bytes() != after2 {
+		t.Errorf("Bytes grew on a repeated string: %d -> %d", after2, in.Bytes())
+	}
+}
+
+// TestBudgetCounted: without strict mode the budget never fails; it
+// tracks usage, records the peak, and reports overflow past the limit.
+func TestBudgetCounted(t *testing.T) {
+	b := NewBudget(100, false)
+	if err := b.Acquire(80); err != nil {
+		t.Fatalf("Acquire(80): %v", err)
+	}
+	if err := b.Acquire(70); err != nil {
+		t.Fatalf("counted mode must not fail: %v", err)
+	}
+	if b.Used() != 150 || b.Peak() != 150 {
+		t.Errorf("Used=%d Peak=%d, want 150,150", b.Used(), b.Peak())
+	}
+	b.Release(80)
+	if b.Used() != 70 || b.Peak() != 150 {
+		t.Errorf("after Release: Used=%d Peak=%d, want 70,150", b.Used(), b.Peak())
+	}
+	if got := b.OverflowBytes(); got != 50 {
+		t.Errorf("OverflowBytes = %d, want 50", got)
+	}
+	// No limit set means no overflow, whatever the peak.
+	free := NewBudget(0, false)
+	free.Acquire(1 << 30)
+	if got := free.OverflowBytes(); got != 0 {
+		t.Errorf("unlimited OverflowBytes = %d, want 0", got)
+	}
+}
+
+// TestBudgetStrict: in strict mode the acquire that crosses the limit
+// fails with ErrBudget.
+func TestBudgetStrict(t *testing.T) {
+	b := NewBudget(100, true)
+	if err := b.Acquire(100); err != nil {
+		t.Fatalf("Acquire at the limit: %v", err)
+	}
+	err := b.Acquire(1)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("Acquire over the limit = %v, want ErrBudget", err)
+	}
+}
+
+// TestBudgetNil: a nil budget is a no-op accountant, so unbudgeted
+// callers need no branches.
+func TestBudgetNil(t *testing.T) {
+	var b *Budget
+	if err := b.Acquire(10); err != nil {
+		t.Fatalf("nil Acquire: %v", err)
+	}
+	b.Release(10)
+	if b.Used() != 0 || b.Peak() != 0 || b.OverflowBytes() != 0 || b.Limit() != 0 {
+		t.Error("nil budget must report zeros")
+	}
+}
+
+// TestArraySourceMatchesCells pins the streaming array iterator against
+// the materializing reference at several batch capacities.
+func TestArraySourceMatchesCells(t *testing.T) {
+	s := array.MustParseSchema("G<v:int, tag:string>[i=1,60,10]")
+	a := array.MustNew(s)
+	rng := rand.New(rand.NewSource(11))
+	tags := []string{"x", "y", "z"}
+	used := make(map[int64]bool)
+	for len(used) < 45 {
+		c := rng.Int63n(60) + 1
+		if used[c] {
+			continue
+		}
+		used[c] = true
+		a.MustPut([]int64{c}, []array.Value{
+			array.IntValue(rng.Int63n(9)),
+			array.StringValue(tags[rng.Intn(len(tags))]),
+		})
+	}
+	a.SortAll()
+	want := a.Cells()
+
+	for _, capacity := range []int{1, 7, 1024} {
+		in := NewIntern()
+		src := NewArraySource(a, in)
+		b := New(len(s.Dims), []array.ScalarType{array.TypeInt64, array.TypeString}, capacity)
+		var got []array.StoredCell
+		for src.Next(b) {
+			for i := 0; i < b.Len(); i++ {
+				c := array.StoredCell{Coords: []int64{b.Coords[0][i]}}
+				for col := range b.Cols {
+					c.Attrs = append(c.Attrs, b.Cols[col].Value(i, in))
+				}
+				got = append(got, c)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("capacity=%d: streamed cells differ from Cells()", capacity)
+		}
+	}
+}

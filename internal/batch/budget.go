@@ -1,0 +1,109 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrBudget is the sentinel wrapped by strict-mode budget violations;
+// test with errors.Is.
+var ErrBudget = errors.New("batch: query memory budget exceeded")
+
+// Budget accounts the bytes of batch storage a query holds in flight,
+// mirroring the engine's ClampedCells/StrictBounds pattern for bounds
+// violations:
+//
+//   - counted mode (Strict false): overflow is measured, never fatal —
+//     OverflowBytes reports how far the peak exceeded the limit;
+//   - strict mode (Strict true): the Acquire that crosses the limit
+//     fails with an error wrapping ErrBudget.
+//
+// Usage is monotonically non-decreasing while slice mapping runs
+// (batches are acquired as they seal) and monotonically non-increasing
+// while comparison retires join units (ReleaseUnit), so the peak equals
+// the total mapped bytes regardless of worker interleaving — Peak and
+// OverflowBytes are deterministic at every Parallelism setting and in
+// both overlapped and barrier modes. A nil *Budget is a valid no-op
+// accountant; Limit 0 means unlimited (counted mode never overflows,
+// strict mode never fails).
+type Budget struct {
+	limit  int64
+	strict bool
+	used   atomic.Int64
+	peak   atomic.Int64
+}
+
+// NewBudget returns a budget with the given byte limit and overflow
+// mode. limit <= 0 means unlimited.
+func NewBudget(limit int64, strict bool) *Budget {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Budget{limit: limit, strict: strict}
+}
+
+// Acquire charges n bytes. In strict mode it fails when the charge
+// pushes usage past the limit (the bytes stay charged; the query is
+// aborting anyway).
+func (b *Budget) Acquire(n int64) error {
+	if b == nil {
+		return nil
+	}
+	u := b.used.Add(n)
+	for {
+		p := b.peak.Load()
+		if u <= p || b.peak.CompareAndSwap(p, u) {
+			break
+		}
+	}
+	if b.strict && b.limit > 0 && u > b.limit {
+		return fmt.Errorf("%w: %d bytes in flight, limit %d", ErrBudget, u, b.limit)
+	}
+	return nil
+}
+
+// Release returns n bytes to the budget.
+func (b *Budget) Release(n int64) {
+	if b != nil {
+		b.used.Add(-n)
+	}
+}
+
+// Used returns the bytes currently charged.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Peak returns the high-water mark of charged bytes.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// Limit returns the configured byte limit (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// OverflowBytes returns how far the peak exceeded the limit — the
+// counted-mode analogue of ClampedCells. Zero when within budget or
+// unlimited.
+func (b *Budget) OverflowBytes() int64 {
+	if b == nil || b.limit <= 0 {
+		return 0
+	}
+	over := b.peak.Load() - b.limit
+	if over < 0 {
+		return 0
+	}
+	return over
+}

@@ -23,6 +23,7 @@ func benchTuples(n int, sorted bool, seed int64) []Tuple {
 func BenchmarkHashJoin(b *testing.B) {
 	left := benchTuples(100_000, false, 1)
 	right := benchTuples(100_000, false, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		HashJoin(left, right, nil)
@@ -33,6 +34,7 @@ func BenchmarkHashJoin(b *testing.B) {
 func BenchmarkMergeJoin(b *testing.B) {
 	left := benchTuples(100_000, true, 3)
 	right := benchTuples(100_000, true, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MergeJoin(left, right, nil); err != nil {
@@ -45,6 +47,7 @@ func BenchmarkMergeJoin(b *testing.B) {
 func BenchmarkNestedLoopJoin(b *testing.B) {
 	left := benchTuples(2_000, false, 5)
 	right := benchTuples(2_000, false, 6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NestedLoopJoin(left, right, nil)
@@ -54,6 +57,7 @@ func BenchmarkNestedLoopJoin(b *testing.B) {
 func BenchmarkSortTuples(b *testing.B) {
 	src := benchTuples(100_000, false, 7)
 	buf := make([]Tuple, len(src))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, src)

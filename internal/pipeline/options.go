@@ -46,6 +46,31 @@ type Options struct {
 	// bit-for-bit identical in both modes at every Parallelism setting;
 	// the knob exists for the equivalence test and for ablations.
 	Barrier bool
+	// Materialize switches the data plane back to the materializing
+	// reference path: full per-cell tuple slice sets (shuffle.MapSideN)
+	// and whole-unit Assemble copies, as the pre-streaming engine ran.
+	// The default (false) is the pull-based columnar batch-streaming
+	// path, whose results — output cells, join statistics, modeled
+	// times — are bit-for-bit identical; the knob exists for the
+	// differential tests and the memory benchmarks, the same way simnet
+	// keeps its reference simulator.
+	Materialize bool
+	// BatchSize is the row capacity of the streaming path's columnar
+	// batches (and thus the granularity of its memory accounting and
+	// pull windows); 0 uses shuffle.DefaultBatchRows.
+	BatchSize int
+	// MemoryBudget caps the bytes of mapped batch storage the query may
+	// hold in flight (8 bytes per stored coordinate and value; string
+	// contents live in the per-query intern dictionary). 0 means
+	// unlimited. By default overflow is counted, not fatal:
+	// Report.MemoryOverflowBytes records how far the peak exceeded the
+	// budget, mirroring the ClampedCells pattern. Ignored on the
+	// materializing path.
+	MemoryBudget int64
+	// StrictMemory makes a MemoryBudget violation fail the query (with
+	// an error wrapping batch.ErrBudget) instead of merely counting the
+	// overflow — the memory analogue of StrictBounds.
+	StrictMemory bool
 	// StrictBounds makes the Assemble stage fail when an output cell's
 	// coordinates fall outside the destination's dimension ranges instead
 	// of silently clamping them (clamped cells can collide and overwrite
@@ -235,6 +260,24 @@ type Report struct {
 	// receiver write locks during data alignment — the shuffle-congestion
 	// half of the skew picture (Align stage).
 	LockWaitSeconds float64
+
+	// PeakBatchBytes is the high-water mark of mapped batch storage the
+	// query held in flight (both sides; 8 bytes per stored coordinate
+	// and value). Because batch bytes only accumulate while slice
+	// mapping runs and only drain as comparison retires join units, the
+	// peak equals the total mapped bytes and is deterministic at every
+	// Parallelism setting and in both overlap modes. Zero on the
+	// materializing path (SliceMap stage).
+	PeakBatchBytes int64
+	// InternedStrings is the number of distinct string values the
+	// query's intern dictionary holds after slice mapping; zero when no
+	// string attributes flowed (SliceMap stage).
+	InternedStrings int64
+	// MemoryOverflowBytes is how far PeakBatchBytes exceeded
+	// Options.MemoryBudget — the counted-mode analogue of ClampedCells.
+	// Zero when within budget, unbudgeted, or materializing (SliceMap
+	// stage).
+	MemoryOverflowBytes int64
 
 	// ClampedCells counts output cells whose coordinates fell outside the
 	// destination's dimension ranges and were clamped onto the boundary.

@@ -115,30 +115,54 @@ func (cr *compareRunner) wait() {
 	}
 }
 
-// runUnit assembles and joins one unit on its destination node.
+// runUnit assembles and joins one unit on its destination node: a
+// pull-chain of pooled TupleReaders on the streaming path, or pooled
+// whole-unit scratch assembly on the materializing reference path.
+// Either way the projector copies every emitted value, so the unit's
+// working tuples are recycled the moment the join returns.
 func (cr *compareRunner) runUnit(u int) {
 	qc := cr.qc
 	res := &cr.results[u]
 	dest := qc.Report.Physical.Assignment[u]
-	left := qc.ssl.Assemble(u, dest)
-	right := qc.ssr.Assemble(u, dest)
-	if qc.plan.Algo == join.Merge {
-		// Reassembled units are concatenations of sorted slices; restore
-		// full key order (Section 3.4's preprocessing).
-		join.SortTuples(left)
-		join.SortTuples(right)
-	}
 	uproj := qc.proj.forUnit()
-	st, err := join.Run(qc.plan.Algo, left, right, func(l, r *join.Tuple) {
+	emit := func(l, r *join.Tuple) {
 		coords, attrs := uproj.project(l, r)
 		res.cells = append(res.cells, array.StoredCell{Coords: coords, Attrs: attrs})
-	})
+	}
+	var st join.Stats
+	var err error
+	var nl, nr int
+	if qc.streaming() {
+		lrd := qc.rsl.Reader(u, dest)
+		rrd := qc.rsr.Reader(u, dest)
+		nl, nr = lrd.Len(), rrd.Len()
+		st, err = join.RunStream(qc.plan.Algo, lrd, rrd, emit)
+		lrd.Close()
+		rrd.Close()
+		// The unit is fully consumed: recycle its batches and return
+		// their bytes to the query budget.
+		qc.rsl.ReleaseUnit(u)
+		qc.rsr.ReleaseUnit(u)
+	} else {
+		left := qc.ssl.AppendUnit(join.GetTuples(), u, dest)
+		right := qc.ssr.AppendUnit(join.GetTuples(), u, dest)
+		nl, nr = len(left), len(right)
+		if qc.plan.Algo == join.Merge {
+			// Reassembled units are concatenations of sorted slices;
+			// restore full key order (Section 3.4's preprocessing).
+			join.SortTuples(left)
+			join.SortTuples(right)
+		}
+		st, err = join.Run(qc.plan.Algo, left, right, emit)
+		join.PutTuples(left)
+		join.PutTuples(right)
+	}
 	if err != nil {
 		res.err = err
 		return
 	}
 	res.stats = st
-	res.time = unitModelTime(qc.plan.Algo, qc.Opt.Params, len(left), len(right))
+	res.time = unitModelTime(qc.plan.Algo, qc.Opt.Params, nl, nr)
 }
 
 // fold merges per-unit results into per-node outputs in deterministic
@@ -186,23 +210,41 @@ func runBarrier(qc *QueryContext) []nodeOut {
 		// synthetic row coordinates are unique and deterministic whether
 		// or not nodes run concurrently.
 		nproj := qc.proj.forNode(node, k)
+		emitTo := func(l, r *join.Tuple) {
+			coords, attrs := nproj.project(l, r)
+			no.cells = append(no.cells, array.StoredCell{Coords: coords, Attrs: attrs})
+		}
 		for _, u := range qc.nodeUnits[node] {
-			left := qc.ssl.Assemble(u, node)
-			right := qc.ssr.Assemble(u, node)
-			if qc.plan.Algo == join.Merge {
-				join.SortTuples(left)
-				join.SortTuples(right)
+			var st join.Stats
+			var err error
+			var nl, nr int
+			if qc.streaming() {
+				lrd := qc.rsl.Reader(u, node)
+				rrd := qc.rsr.Reader(u, node)
+				nl, nr = lrd.Len(), rrd.Len()
+				st, err = join.RunStream(qc.plan.Algo, lrd, rrd, emitTo)
+				lrd.Close()
+				rrd.Close()
+				qc.rsl.ReleaseUnit(u)
+				qc.rsr.ReleaseUnit(u)
+			} else {
+				left := qc.ssl.AppendUnit(join.GetTuples(), u, node)
+				right := qc.ssr.AppendUnit(join.GetTuples(), u, node)
+				nl, nr = len(left), len(right)
+				if qc.plan.Algo == join.Merge {
+					join.SortTuples(left)
+					join.SortTuples(right)
+				}
+				st, err = join.Run(qc.plan.Algo, left, right, emitTo)
+				join.PutTuples(left)
+				join.PutTuples(right)
 			}
-			st, err := join.Run(qc.plan.Algo, left, right, func(l, r *join.Tuple) {
-				coords, attrs := nproj.project(l, r)
-				no.cells = append(no.cells, array.StoredCell{Coords: coords, Attrs: attrs})
-			})
 			if err != nil {
 				no.err = err
 				return
 			}
 			no.stats.Add(st)
-			no.time += unitModelTime(qc.plan.Algo, qc.Opt.Params, len(left), len(right))
+			no.time += unitModelTime(qc.plan.Algo, qc.Opt.Params, nl, nr)
 		}
 		addPostJoinTime(no, qc.plan, qc.Opt.Params)
 	}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"shufflejoin/internal/array"
+	"shufflejoin/internal/batch"
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
@@ -91,7 +92,9 @@ type QueryContext struct {
 	plans     []logical.Plan    // LogicalPlan: every valid plan, cheapest first
 	plan      *logical.Plan     // LogicalPlan: the chosen plan
 	spec      *shuffle.UnitSpec // SliceMap: join-unit geometry
-	ssl, ssr  *shuffle.SliceSet // SliceMap: per-side slice maps
+	ssl, ssr  *shuffle.SliceSet // SliceMap: per-side slice maps (materializing path)
+	rsl, rsr  *shuffle.RunSet   // SliceMap: per-side batch runs (streaming path)
+	budget    *batch.Budget     // SliceMap: per-query memory accountant (streaming path)
 	prob      *physical.Problem // PhysicalPlan: cost-model problem instance
 	nodeUnits [][]int           // PhysicalPlan: units assigned to each node
 	transfers []simnet.Transfer // Align: the shuffle's network transfers
@@ -99,6 +102,34 @@ type QueryContext struct {
 	proj      *projector        // Align: output-cell projector
 	runner    *compareRunner    // Align: overlapped per-unit compare dispatcher
 	nodes     []nodeOut         // Compare: merged per-node compare products
+}
+
+// streaming reports whether the query's data plane is the batch-run
+// path (the default) rather than the materializing reference path.
+func (qc *QueryContext) streaming() bool { return qc.rsl != nil }
+
+// leftSizes / rightSizes report the slice statistics s_{i,j} from
+// whichever slice map the query built.
+func (qc *QueryContext) leftSizes() [][]int64 {
+	if qc.streaming() {
+		return qc.rsl.Sizes()
+	}
+	return qc.ssl.Sizes()
+}
+
+func (qc *QueryContext) rightSizes() [][]int64 {
+	if qc.streaming() {
+		return qc.rsr.Sizes()
+	}
+	return qc.ssr.Sizes()
+}
+
+// sliceCells returns the cells of unit u (both sides) mapped on a node.
+func (qc *QueryContext) sliceCells(u, node int) int64 {
+	if qc.streaming() {
+		return qc.rsl.Count(u, node) + qc.rsr.Count(u, node)
+	}
+	return int64(len(qc.ssl.Slice(u, node))) + int64(len(qc.ssr.Slice(u, node)))
 }
 
 // NewQueryContext prepares a context for one join execution. opt is

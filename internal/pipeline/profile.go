@@ -106,6 +106,15 @@ type Profile struct {
 	CellsMoved   int64 `json:"cells_moved"`
 	ClampedCells int64 `json:"clamped_cells,omitempty"`
 
+	// Memory: the streaming data plane's per-query bound. PeakBatchBytes
+	// is the high-water mark of mapped batch storage (deterministic; 0
+	// on the materializing reference path), InternedStrings the distinct
+	// strings in the query's intern dictionary, and MemoryOverflowBytes
+	// how far the peak exceeded Options.MemoryBudget (counted mode).
+	PeakBatchBytes      int64 `json:"peak_batch_bytes"`
+	InternedStrings     int64 `json:"interned_strings,omitempty"`
+	MemoryOverflowBytes int64 `json:"memory_overflow_bytes,omitempty"`
+
 	// Skew diagnostics: the compare phase's straggler ratio (max/mean)
 	// and the straggler node (-1 when no compare work exists).
 	Skew          float64 `json:"skew"`
@@ -121,24 +130,27 @@ type Profile struct {
 func buildProfile(qc *QueryContext) *Profile {
 	rep := qc.Report
 	p := &Profile{
-		Query:         qc.Opt.QueryLabel,
-		Plan:          rep.Logical.Describe(),
-		Algorithm:     rep.Logical.Algo.String(),
-		Planner:       rep.Physical.Planner,
-		PlanSource:    rep.PlanSource,
-		PlanRegret:    rep.PlanRegret,
-		CacheOutcome:  rep.CacheOutcome,
-		Selectivity:   rep.Selectivity,
-		NumUnits:      rep.Logical.NumUnits,
-		Stages:        append([]StageTiming(nil), rep.Stages...),
-		PlanSeconds:   rep.PlanTime,
-		TotalSeconds:  rep.Total,
-		WallSeconds:   rep.WallTime.Seconds(),
-		Matches:       rep.Matches,
-		CellsMoved:    rep.CellsMoved,
-		ClampedCells:  rep.ClampedCells,
-		Skew:          rep.Skew,
-		StragglerNode: rep.StragglerNode,
+		Query:               qc.Opt.QueryLabel,
+		Plan:                rep.Logical.Describe(),
+		Algorithm:           rep.Logical.Algo.String(),
+		Planner:             rep.Physical.Planner,
+		PlanSource:          rep.PlanSource,
+		PlanRegret:          rep.PlanRegret,
+		CacheOutcome:        rep.CacheOutcome,
+		Selectivity:         rep.Selectivity,
+		NumUnits:            rep.Logical.NumUnits,
+		Stages:              append([]StageTiming(nil), rep.Stages...),
+		PlanSeconds:         rep.PlanTime,
+		TotalSeconds:        rep.Total,
+		WallSeconds:         rep.WallTime.Seconds(),
+		Matches:             rep.Matches,
+		CellsMoved:          rep.CellsMoved,
+		ClampedCells:        rep.ClampedCells,
+		PeakBatchBytes:      rep.PeakBatchBytes,
+		InternedStrings:     rep.InternedStrings,
+		MemoryOverflowBytes: rep.MemoryOverflowBytes,
+		Skew:                rep.Skew,
+		StragglerNode:       rep.StragglerNode,
 		Shuffle: ShuffleProfile{
 			Transfers:       len(rep.Align.Timeline),
 			CellsMoved:      rep.CellsMoved,
@@ -237,6 +249,13 @@ func (p *Profile) String() string {
 	fmt.Fprintf(&b, "├─ shuffle: %d transfers · %d cells · %d lock waits (%.4fs) · %d skipped sends · makespan %.4fs\n",
 		p.Shuffle.Transfers, p.Shuffle.CellsMoved, p.Shuffle.LockWaits,
 		p.Shuffle.LockWaitSeconds, p.Shuffle.SkippedSends, p.Shuffle.MakespanSeconds)
+	if p.PeakBatchBytes > 0 {
+		fmt.Fprintf(&b, "├─ memory: %d peak batch bytes · %d interned strings", p.PeakBatchBytes, p.InternedStrings)
+		if p.MemoryOverflowBytes > 0 {
+			fmt.Fprintf(&b, " · %d bytes over budget", p.MemoryOverflowBytes)
+		}
+		b.WriteString("\n")
+	}
 	if p.StragglerNode >= 0 {
 		fmt.Fprintf(&b, "├─ nodes (compare skew %.3f · straggler node %d)\n", p.Skew, p.StragglerNode)
 	} else {
@@ -283,6 +302,8 @@ func (p *Profile) Fingerprint() string {
 	}
 	fmt.Fprintf(&b, "makespan=%.17g matches=%d moved=%d clamped=%d skew=%.17g straggler=%d\n",
 		p.MakespanSeconds, p.Matches, p.CellsMoved, p.ClampedCells, p.Skew, p.StragglerNode)
+	fmt.Fprintf(&b, "memory peak=%d interned=%d overflow=%d\n",
+		p.PeakBatchBytes, p.InternedStrings, p.MemoryOverflowBytes)
 	fmt.Fprintf(&b, "shuffle transfers=%d cells=%d lock_waits=%d skipped=%d lock_wait_s=%.17g makespan=%.17g\n",
 		p.Shuffle.Transfers, p.Shuffle.CellsMoved, p.Shuffle.LockWaits,
 		p.Shuffle.SkippedSends, p.Shuffle.LockWaitSeconds, p.Shuffle.MakespanSeconds)

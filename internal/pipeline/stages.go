@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"shufflejoin/internal/array"
+	"shufflejoin/internal/batch"
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
@@ -137,7 +138,11 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 }
 
 // SliceMap is the Section 3.3 stage: each node maps its resident cells of
-// both sides into join-unit slices (in parallel across nodes).
+// both sides into join-unit slices (in parallel across nodes). By default
+// the slices are bounded columnar batch runs (shuffle.MapSideStream) —
+// the streaming data plane — with a shared per-query intern dictionary
+// and memory budget; Options.Materialize selects the reference path of
+// fully materialized tuple slices instead.
 type SliceMap struct{}
 
 func (SliceMap) Name() string { return "slice-map" }
@@ -147,17 +152,49 @@ func (SliceMap) Run(qc *QueryContext) error {
 	workers := opt.workers()
 	ms := opt.Trace.Root().Child("map.slices")
 	spec, lm, rm := logical.UnitSpecFor(qc.plan)
-	ssl, err := shuffle.MapSideN(qc.Left, c.K, spec, lm, workers)
-	if err != nil {
-		return err
-	}
-	ssr, err := shuffle.MapSideN(qc.Right, c.K, spec, rm, workers)
-	if err != nil {
-		return err
+	if opt.Materialize {
+		ssl, err := shuffle.MapSideN(qc.Left, c.K, spec, lm, workers)
+		if err != nil {
+			return err
+		}
+		ssr, err := shuffle.MapSideN(qc.Right, c.K, spec, rm, workers)
+		if err != nil {
+			return err
+		}
+		qc.ssl, qc.ssr = ssl, ssr
+	} else {
+		qc.budget = batch.NewBudget(opt.MemoryBudget, opt.StrictMemory)
+		cfg := shuffle.StreamConfig{
+			BatchRows: opt.BatchSize,
+			Intern:    batch.NewIntern(),
+			Budget:    qc.budget,
+		}
+		rsl, err := shuffle.MapSideStream(qc.Left, c.K, spec, lm, workers, cfg)
+		if err != nil {
+			return err
+		}
+		rsr, err := shuffle.MapSideStream(qc.Right, c.K, spec, rm, workers, cfg)
+		if err != nil {
+			return err
+		}
+		qc.rsl, qc.rsr = rsl, rsr
+		// The budget only rises during mapping and only falls as compare
+		// retires units, so the peak is already final here — record it
+		// and surface the gauges (deterministic, so trace fingerprints
+		// stay pinned across Parallelism and overlap modes).
+		rep := qc.Report
+		rep.PeakBatchBytes = qc.budget.Peak()
+		rep.InternedStrings = int64(cfg.Intern.Count())
+		rep.MemoryOverflowBytes = qc.budget.OverflowBytes()
+		reg := opt.Trace.Metrics()
+		reg.Gauge("pipeline.peak_batch_bytes").Set(float64(rep.PeakBatchBytes))
+		reg.Gauge("pipeline.interned_strings").Set(float64(rep.InternedStrings))
+		ms.SetInt("peak_batch_bytes", rep.PeakBatchBytes)
+		ms.SetInt("interned_strings", rep.InternedStrings)
 	}
 	ms.SetInt("units", int64(spec.NumUnits))
 	ms.End()
-	qc.spec, qc.ssl, qc.ssr = spec, ssl, ssr
+	qc.spec = spec
 	return nil
 }
 
@@ -171,7 +208,7 @@ func (PhysicalPlan) Run(qc *QueryContext) error {
 	c, opt := qc.Cluster, qc.Opt
 	tr := opt.Trace
 	reg := tr.Metrics()
-	pr, err := physical.NewProblem(c.K, modelAlgo(qc.plan.Algo), qc.ssl.Sizes(), qc.ssr.Sizes(), opt.Params)
+	pr, err := physical.NewProblem(c.K, modelAlgo(qc.plan.Algo), qc.leftSizes(), qc.rightSizes(), opt.Params)
 	if err != nil {
 		return err
 	}
@@ -325,7 +362,7 @@ func (Align) Run(qc *QueryContext) error {
 	for u := 0; u < qc.spec.NumUnits; u++ {
 		dest := rep.Physical.Assignment[u]
 		for node := 0; node < c.K; node++ {
-			cells := int64(len(qc.ssl.Slice(u, node))) + int64(len(qc.ssr.Slice(u, node)))
+			cells := qc.sliceCells(u, node)
 			if node != dest && cells > 0 {
 				qc.transfers = append(qc.transfers, simnet.Transfer{From: node, To: dest, Cells: cells, Tag: u})
 			}

@@ -1,0 +1,202 @@
+package pipeline_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"shufflejoin/internal/array"
+	"shufflejoin/internal/batch"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
+)
+
+// TestStreamingMatchesMaterialized is the data-plane differential test:
+// the default streaming execution is bit-identical to the materializing
+// reference path — output cells, join statistics, modeled times, and
+// per-node diagnostics — for every algorithm, batch size, parallelism,
+// and compare mode. (Trace fingerprints are intentionally NOT compared
+// across data planes: the streaming plane registers memory gauges the
+// reference plane does not have.)
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,300,30]", 5, 150, 30)
+	b := buildArray("B<w:int>[j=1,300,30]", 6, 160, 30)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	out := array.MustParseSchema("T<i:int, j:int>[v=0,29,6]")
+
+	run := func(t *testing.T, algo join.Algorithm, par, batchSize int, barrier, materialize bool) *pipeline.Report {
+		t.Helper()
+		c := newCluster(t, 4, a.Clone(), b.Clone())
+		rep, err := pipeline.Run(c, "A", "B", pred, out, pipeline.Options{
+			ForceAlgo:   &algo,
+			Logical:     logical.PlanOptions{Selectivity: 0.5},
+			Parallelism: par,
+			Barrier:     barrier,
+			BatchSize:   batchSize,
+			Materialize: materialize,
+		})
+		if err != nil {
+			t.Fatalf("Run(algo=%v par=%d batch=%d barrier=%v mat=%v): %v",
+				algo, par, batchSize, barrier, materialize, err)
+		}
+		return rep
+	}
+
+	for _, algo := range []join.Algorithm{join.Hash, join.Merge, join.NestedLoop} {
+		// One reference run per algorithm; every streaming configuration
+		// must reproduce it exactly.
+		want := run(t, algo, 1, 0, true, true)
+		wantCells := cellsOf(want.Output)
+		for _, batchSize := range []int{1, 7, 1024} {
+			for _, par := range []int{1, 4, 0} {
+				for _, barrier := range []bool{false, true} {
+					name := fmt.Sprintf("%v/batch=%d/par=%d/barrier=%v", algo, batchSize, par, barrier)
+					t.Run(name, func(t *testing.T) {
+						got := run(t, algo, par, batchSize, barrier, false)
+						if got.Matches != want.Matches {
+							t.Errorf("Matches = %d, want %d", got.Matches, want.Matches)
+						}
+						if got.JoinStats != want.JoinStats {
+							t.Errorf("JoinStats = %+v, want %+v", got.JoinStats, want.JoinStats)
+						}
+						if got.CellsMoved != want.CellsMoved {
+							t.Errorf("CellsMoved = %d, want %d", got.CellsMoved, want.CellsMoved)
+						}
+						if got.ClampedCells != want.ClampedCells {
+							t.Errorf("ClampedCells = %d, want %d", got.ClampedCells, want.ClampedCells)
+						}
+						if got.AlignTime != want.AlignTime {
+							t.Errorf("AlignTime = %v, want %v", got.AlignTime, want.AlignTime)
+						}
+						if got.CompareTime != want.CompareTime {
+							t.Errorf("CompareTime = %v, want %v", got.CompareTime, want.CompareTime)
+						}
+						if !reflect.DeepEqual(got.NodeCompareTime, want.NodeCompareTime) {
+							t.Errorf("NodeCompareTime = %v, want %v", got.NodeCompareTime, want.NodeCompareTime)
+						}
+						if !reflect.DeepEqual(cellsOf(got.Output), wantCells) {
+							t.Errorf("output cells differ between streaming and materialized execution")
+						}
+						if got.PeakBatchBytes <= 0 {
+							t.Errorf("streaming run reports PeakBatchBytes = %d, want > 0", got.PeakBatchBytes)
+						}
+						if want.PeakBatchBytes != 0 {
+							t.Errorf("materialized run reports PeakBatchBytes = %d, want 0", want.PeakBatchBytes)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingPeakDeterministic pins the memory gauge itself: the
+// reported peak is bit-identical across parallelism and compare modes
+// (batch charges happen at SliceMap, releases strictly after — the peak
+// is the total mapped footprint regardless of execution interleaving).
+func TestStreamingPeakDeterministic(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,200,20]", 7, 120, 25)
+	b := buildArray("B<w:int>[j=1,200,20]", 8, 110, 25)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+
+	var wantPeak int64 = -1
+	for _, par := range []int{1, 4, 0} {
+		for _, barrier := range []bool{false, true} {
+			c := newCluster(t, 3, a.Clone(), b.Clone())
+			rep, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+				Logical:     logical.PlanOptions{Selectivity: 0.5},
+				Parallelism: par,
+				Barrier:     barrier,
+				BatchSize:   16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantPeak < 0 {
+				wantPeak = rep.PeakBatchBytes
+			}
+			if rep.PeakBatchBytes != wantPeak {
+				t.Errorf("par=%d barrier=%v: PeakBatchBytes = %d, want %d",
+					par, barrier, rep.PeakBatchBytes, wantPeak)
+			}
+		}
+	}
+	if wantPeak <= 0 {
+		t.Fatalf("PeakBatchBytes = %d, want > 0", wantPeak)
+	}
+}
+
+// TestMemoryBudgetCounted: an undersized budget in the default counted
+// mode completes the query and reports the overflow, mirroring the
+// ClampedCells convention.
+func TestMemoryBudgetCounted(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,200,20]", 9, 120, 25)
+	b := buildArray("B<w:int>[j=1,200,20]", 10, 110, 25)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 3, a, b)
+	rep, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical:      logical.PlanOptions{Selectivity: 0.5},
+		MemoryBudget: 256,
+	})
+	if err != nil {
+		t.Fatalf("counted overflow must not fail the query: %v", err)
+	}
+	if rep.MemoryOverflowBytes <= 0 {
+		t.Errorf("MemoryOverflowBytes = %d, want > 0", rep.MemoryOverflowBytes)
+	}
+	if got, want := rep.MemoryOverflowBytes, rep.PeakBatchBytes-256; got != want {
+		t.Errorf("MemoryOverflowBytes = %d, want peak-budget = %d", got, want)
+	}
+	if rep.Matches == 0 {
+		t.Error("overflowing query produced no matches; fixture broken")
+	}
+}
+
+// TestMemoryBudgetStrict: the same undersized budget in strict mode
+// fails the query with batch.ErrBudget.
+func TestMemoryBudgetStrict(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,200,20]", 9, 120, 25)
+	b := buildArray("B<w:int>[j=1,200,20]", 10, 110, 25)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 3, a, b)
+	_, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical:      logical.PlanOptions{Selectivity: 0.5},
+		MemoryBudget: 256,
+		StrictMemory: true,
+	})
+	if !errors.Is(err, batch.ErrBudget) {
+		t.Fatalf("err = %v, want batch.ErrBudget", err)
+	}
+}
+
+// TestStreamingFingerprintsPinned: within the streaming plane, trace
+// fingerprints (which now cover the memory gauges) stay bit-identical
+// across parallelism — the same guarantee the engine makes for every
+// other metric.
+func TestStreamingFingerprintsPinned(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,200,20]", 11, 100, 20)
+	b := buildArray("B<w:int>[j=1,200,20]", 12, 90, 20)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	var want string
+	for i, par := range []int{1, 4, 0} {
+		c := newCluster(t, 3, a.Clone(), b.Clone())
+		tr := obs.New("streaming")
+		_, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+			Logical:     logical.PlanOptions{Selectivity: 0.5},
+			Parallelism: par,
+			Trace:       tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := tr.Fingerprint()
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			t.Errorf("par=%d: fingerprint diverged", par)
+		}
+	}
+}

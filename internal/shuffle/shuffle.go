@@ -178,15 +178,22 @@ func (ss *SliceSet) TotalCells() int64 {
 // Local cells (those already on dest) come first, then remote slices in
 // node order, mirroring arrival order in the executor.
 func (ss *SliceSet) Assemble(u, dest int) []join.Tuple {
-	var out []join.Tuple
-	out = append(out, ss.cells[u][dest]...)
+	return ss.AppendUnit(nil, u, dest)
+}
+
+// AppendUnit appends unit u's slices into dst in Assemble's arrival
+// order and returns the extended slice. It exists so the compare hot
+// path can assemble into pooled scratch (join.GetTuples) instead of a
+// fresh allocation per unit.
+func (ss *SliceSet) AppendUnit(dst []join.Tuple, u, dest int) []join.Tuple {
+	dst = append(dst, ss.cells[u][dest]...)
 	for node := 0; node < ss.Nodes; node++ {
 		if node == dest {
 			continue
 		}
-		out = append(out, ss.cells[u][node]...)
+		dst = append(dst, ss.cells[u][node]...)
 	}
-	return out
+	return dst
 }
 
 // MapSide runs the slice function over one distributed array
@@ -197,8 +204,17 @@ func MapSide(d *cluster.Distributed, k int, spec *UnitSpec, m *SideMapper) (*Sli
 
 // MapSideN runs the slice function over one distributed array: every node
 // maps its local cells to (unit, slice) independently of the others —
-// exactly what a real cluster does node-locally — so the per-node map runs
-// are spread over a pool of `workers` goroutines (<= 1 means sequential).
+// fully materializing every mapped cell as a join.Tuple. It is the
+// materializing reference path kept for differential testing and
+// ablation (pipeline Options.Materialize); the default data plane is
+// the batch-streaming MapSideStream, which produces bit-identical
+// tuples without the per-cell materialization. The per-row ch.Cell
+// calls here (one coords + one attrs allocation per cell) are the cost
+// the streaming path removes.
+//
+// Each node maps independently of the others — exactly what a real
+// cluster does node-locally — so the per-node map runs are spread over a
+// pool of `workers` goroutines (<= 1 means sequential).
 // A node's cells are always processed in chunk-key order by a single
 // worker, and distinct nodes write distinct (unit, node) slice slots, so
 // the resulting SliceSet is identical at every worker count. Tuples carry

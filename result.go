@@ -61,6 +61,21 @@ type Result struct {
 	// Non-zero values signal a lossy store; WithStrictBounds turns them
 	// into errors instead (Assemble stage).
 	ClampedCells int64
+	// PeakBatchBytes is the high-water mark of mapped batch storage on the
+	// streaming data plane — the query's working-set bound, deterministic
+	// across Parallelism settings. Zero when the query ran on the
+	// materializing reference path (WithMaterializedExecution). Multi-way
+	// queries report the largest per-step peak (SliceMap stage).
+	PeakBatchBytes int64
+	// InternedStrings is the number of distinct strings in the query's
+	// dictionary; string cells carry 4-byte codes through the shuffle
+	// instead of copies (SliceMap stage; summed across multi-way steps).
+	InternedStrings int64
+	// MemoryOverflowBytes is how far PeakBatchBytes exceeded the budget
+	// set with WithMemoryBudget — zero when no budget was set or the query
+	// fit. WithStrictMemory turns overflow into an error instead (SliceMap
+	// stage; summed across multi-way steps).
+	MemoryOverflowBytes int64
 
 	// Modeled phase durations in seconds, as in the paper's figures:
 	// planning is real wall time (PhysicalPlan stage); alignment is the
@@ -110,28 +125,31 @@ type Result struct {
 
 func newResult(rep *pipeline.Report) *Result {
 	return &Result{
-		Plan:            rep.Logical.Describe(),
-		Algorithm:       rep.Logical.Algo.String(),
-		Planner:         rep.Physical.Planner,
-		PlanSource:      rep.PlanSource,
-		PlanRegret:      rep.PlanRegret,
-		Matches:         rep.Matches,
-		CellsMoved:      rep.CellsMoved,
-		ClampedCells:    rep.ClampedCells,
-		PlanSeconds:     rep.PlanTime,
-		AlignSeconds:    rep.AlignTime,
-		CompareSeconds:  rep.CompareTime,
-		TotalSeconds:    rep.Total,
-		Skew:            rep.Skew,
-		StragglerNode:   rep.StragglerNode,
-		LockWaitSeconds: rep.LockWaitSeconds,
-		OutputSchema:    rep.Output.Schema.String(),
-		nodeCompare:     rep.NodeCompareTime,
-		nodeSend:        rep.Align.SendBusy,
-		nodeRecv:        rep.Align.RecvBusy,
-		nodeLockWait:    rep.Align.RecvLockWait,
-		Profile:         rep.Profile,
-		output:          rep.Output,
+		Plan:                rep.Logical.Describe(),
+		Algorithm:           rep.Logical.Algo.String(),
+		Planner:             rep.Physical.Planner,
+		PlanSource:          rep.PlanSource,
+		PlanRegret:          rep.PlanRegret,
+		Matches:             rep.Matches,
+		CellsMoved:          rep.CellsMoved,
+		ClampedCells:        rep.ClampedCells,
+		PeakBatchBytes:      rep.PeakBatchBytes,
+		InternedStrings:     rep.InternedStrings,
+		MemoryOverflowBytes: rep.MemoryOverflowBytes,
+		PlanSeconds:         rep.PlanTime,
+		AlignSeconds:        rep.AlignTime,
+		CompareSeconds:      rep.CompareTime,
+		TotalSeconds:        rep.Total,
+		Skew:                rep.Skew,
+		StragglerNode:       rep.StragglerNode,
+		LockWaitSeconds:     rep.LockWaitSeconds,
+		OutputSchema:        rep.Output.Schema.String(),
+		nodeCompare:         rep.NodeCompareTime,
+		nodeSend:            rep.Align.SendBusy,
+		nodeRecv:            rep.Align.RecvBusy,
+		nodeLockWait:        rep.Align.RecvLockWait,
+		Profile:             rep.Profile,
+		output:              rep.Output,
 	}
 }
 
@@ -153,6 +171,11 @@ func newMultiResult(res *aql.MultiResult) *Result {
 		r.CellsMoved += step.CellsMoved
 		r.ClampedCells += step.ClampedCells
 		r.LockWaitSeconds += step.LockWaitSeconds
+		if step.PeakBatchBytes > r.PeakBatchBytes {
+			r.PeakBatchBytes = step.PeakBatchBytes
+		}
+		r.InternedStrings += step.InternedStrings
+		r.MemoryOverflowBytes += step.MemoryOverflowBytes
 		if r.Planner == "" {
 			r.Planner = step.Physical.Planner
 		}

@@ -235,6 +235,10 @@ type queryConfig struct {
 	scheduling   simnet.Scheduling
 	parallelism  int // 0 = one worker per CPU, 1 = sequential, n = n workers
 	strictBounds bool
+	batchSize    int   // streaming batch capacity in rows (0 = default)
+	memBudget    int64 // per-query batch-memory budget in bytes (0 = unlimited)
+	strictMemory bool  // budget overflow fails the query instead of counting
+	materialize  bool  // run the materializing reference data plane
 	forceAlgo    string
 	trace        *obs.Trace
 	cache        *plancache.Cache
@@ -434,6 +438,56 @@ func WithStrictBounds() QueryOption {
 	}
 }
 
+// WithBatchSize sets the streaming data plane's batch capacity in rows
+// (cells per columnar batch). The default is 1024. Results are identical
+// at every batch size; smaller batches lower the per-unit working set at
+// the price of more per-batch bookkeeping.
+func WithBatchSize(rows int) QueryOption {
+	return func(c *queryConfig) error {
+		if rows < 0 {
+			return fmt.Errorf("shufflejoin: batch size must be >= 0, got %d", rows)
+		}
+		c.batchSize = rows
+		return nil
+	}
+}
+
+// WithMemoryBudget bounds the query's mapped batch storage to the given
+// number of bytes. By default overflow is counted, not fatal: the query
+// still completes and Result.MemoryOverflowBytes reports how far the
+// peak exceeded the budget (mirroring the ClampedCells convention).
+// Combine with WithStrictMemory to fail the query instead.
+func WithMemoryBudget(bytes int64) QueryOption {
+	return func(c *queryConfig) error {
+		if bytes < 0 {
+			return fmt.Errorf("shufflejoin: memory budget must be >= 0, got %d", bytes)
+		}
+		c.memBudget = bytes
+		return nil
+	}
+}
+
+// WithStrictMemory makes a query fail with batch.ErrBudget the moment its
+// mapped batch storage would exceed the WithMemoryBudget limit, instead of
+// counting the overflow (the StrictBounds analogue for memory).
+func WithStrictMemory() QueryOption {
+	return func(c *queryConfig) error {
+		c.strictMemory = true
+		return nil
+	}
+}
+
+// WithMaterializedExecution runs the query on the materializing reference
+// data plane — every slice fully expanded to tuples before comparison —
+// instead of the default streaming batch iterators. Outputs are identical;
+// the option exists for differential testing and A/B memory measurements.
+func WithMaterializedExecution() QueryOption {
+	return func(c *queryConfig) error {
+		c.materialize = true
+		return nil
+	}
+}
+
 // WithTrace enables tracing and metrics capture for the query: the Result
 // then supports TraceSummary (human-readable skew/congestion breakdown),
 // ChromeTrace (Perfetto-loadable trace-event JSON), and MetricsJSON, and
@@ -466,6 +520,10 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 		Scheduling:   cfg.scheduling,
 		Parallelism:  cfg.parallelism,
 		StrictBounds: cfg.strictBounds,
+		BatchSize:    cfg.batchSize,
+		MemoryBudget: cfg.memBudget,
+		StrictMemory: cfg.strictMemory,
+		Materialize:  cfg.materialize,
 		Logical:      logical.PlanOptions{Selectivity: cfg.selectivity},
 		Trace:        cfg.trace,
 		Cache:        cfg.cache,

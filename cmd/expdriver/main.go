@@ -6,7 +6,7 @@
 //	expdriver [-exp all|fig5|fig6|table1|table2|fig7|fig8|fig9|adversarial|fig10|planquality|beyond]
 //	          [-scale small|full] [-seed N] [-budget DUR]
 //	          [-trace FILE] [-metrics] [-json FILE] [-gate]
-//	          [-obs-addr ADDR] [-slow-ms N] [-obs-hold DUR]
+//	          [-obs-addr ADDR] [-slow-ms N] [-obs-hold DUR] [-postmortem-dir DIR]
 //
 // "planquality" is the greedy-vs-ILP calibration sweep behind the plan
 // cache's regret policy: per Zipf skew level and join algorithm it
@@ -31,9 +31,16 @@
 //
 // -obs-addr serves live telemetry over HTTP while the experiments run:
 // /metrics (Prometheus text format), /debug/queries (profiled query
-// log; -slow-ms sets the slow-query threshold), and /debug/inflight
-// (per-stage progress). -obs-hold keeps the endpoint up after the last
+// log; -slow-ms sets the slow-query threshold), /debug/inflight
+// (per-stage progress), /debug/flight (the engine flight recorder),
+// /debug/anomalies (the online skew-anomaly detector), and
+// /debug/status. -obs-hold keeps the endpoint up after the last
 // experiment so scrapers can collect the final state.
+//
+// -postmortem-dir installs a process-wide diagnostic-bundle sink: any
+// experiment query that panics, fails a strict check, or breaches
+// -slow-ms writes a bundle of evidence (recent flight events, profile,
+// goroutine stacks, heap profile) into the directory.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"shufflejoin/internal/bench"
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/obshttp"
 )
@@ -61,11 +69,19 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print the accumulated query metric registry as JSON")
 		jsonFile    = flag.String("json", "", "planquality: write the sweep rows and summary as JSON to this file")
 		gate        = flag.Bool("gate", false, "planquality: exit non-zero when the sweep violates the plan-quality acceptance criteria (greedy makespan ratio, cache-hit budget)")
-		obsAddr     = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight); e.g. :8080 or :0")
-		slowMs      = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries")
+		obsAddr     = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight, /debug/flight, /debug/anomalies, /debug/status); e.g. :8080 or :0")
+		slowMs      = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries (with -postmortem-dir, also the slow-query bundle threshold)")
 		obsHold     = flag.Duration("obs-hold", 0, "keep the telemetry endpoint up this long after the experiments finish")
+		pmDir       = flag.String("postmortem-dir", "", "capture diagnostic bundles (flight events, profile, goroutine stacks) into this directory when an experiment query panics, fails a strict check, or breaches -slow-ms")
 	)
 	flag.Parse()
+
+	if *pmDir != "" {
+		flight.SetDefaultPostmortem(&flight.Postmortem{
+			Dir:       *pmDir,
+			SlowQuery: time.Duration(*slowMs * float64(time.Millisecond)),
+		})
+	}
 
 	var tr *obs.Trace
 	if *traceFile != "" || *metrics || *obsAddr != "" {
@@ -76,6 +92,14 @@ func main() {
 		hub = obshttp.NewHub(obshttp.Config{
 			Registry:  tr.Metrics(),
 			SlowQuery: time.Duration(*slowMs * float64(time.Millisecond)),
+			Status: obshttp.StatusInfo{
+				Component: "expdriver",
+				Details: map[string]string{
+					"exp":   *exp,
+					"scale": *scale,
+					"seed":  fmt.Sprint(*seed),
+				},
+			},
 		})
 		addr, err := hub.Serve(*obsAddr)
 		if err != nil {

@@ -38,9 +38,10 @@ func main() {
 		trace   = flag.String("trace", "", "write the query trace as Chrome trace-event JSON to this file (load in Perfetto) and print the trace summary")
 		metrics = flag.Bool("metrics", false, "print the query's metric registry as JSON")
 		analyze = flag.Bool("analyze", false, "print the query's EXPLAIN ANALYZE profile (per-stage timings, plan provenance, per-node skew)")
-		obsAddr = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight); e.g. :8080 or :0")
-		slowMs  = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries")
+		obsAddr = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight, /debug/flight, /debug/anomalies, /debug/status); e.g. :8080 or :0")
+		slowMs  = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries (with -postmortem-dir, also the slow-query bundle threshold)")
 		obsHold = flag.Duration("obs-hold", 0, "keep the telemetry endpoint up this long after the query finishes")
+		pmDir   = flag.String("postmortem-dir", "", "capture a diagnostic bundle (flight events, profile, metrics, goroutine stacks) into this directory when the query panics, fails a strict check, or breaches -slow-ms")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -91,10 +92,24 @@ func main() {
 	if *analyze {
 		opts = append(opts, shufflejoin.WithProfile())
 	}
+	if *pmDir != "" {
+		opts = append(opts, shufflejoin.WithPostmortem(&shufflejoin.Postmortem{
+			Dir:       *pmDir,
+			SlowQuery: time.Duration(*slowMs * float64(time.Millisecond)),
+		}))
+	}
 	var hub *shufflejoin.ObsHub
 	if *obsAddr != "" {
+		details := map[string]string{
+			"nodes":       fmt.Sprint(*nodes),
+			"planner":     *planner,
+			"data":        *dataDir,
+			"parallelism": fmt.Sprint(*par),
+			"scheduling":  map[bool]string{false: "greedy-locks", true: "fifo"}[*fifo],
+		}
 		hub = db.NewObsHub(shufflejoin.ObsConfig{
 			SlowQuery: time.Duration(*slowMs * float64(time.Millisecond)),
+			Status:    shufflejoin.StatusInfo{Component: "shufflejoin", Details: details},
 		})
 		addr, err := hub.Serve(*obsAddr)
 		if err != nil {

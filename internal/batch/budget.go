@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"shufflejoin/internal/flight"
 )
 
 // ErrBudget is the sentinel wrapped by strict-mode budget violations;
@@ -32,6 +34,12 @@ type Budget struct {
 	strict bool
 	used   atomic.Int64
 	peak   atomic.Int64
+
+	// Flight-recorder attachment, set once via SetFlight before any
+	// worker touches the budget (never mutated concurrently with
+	// Acquire/Release). A nil fr records nothing.
+	fr  *flight.Recorder
+	qid uint32
 }
 
 // NewBudget returns a budget with the given byte limit and overflow
@@ -41,6 +49,16 @@ func NewBudget(limit int64, strict bool) *Budget {
 		limit = 0
 	}
 	return &Budget{limit: limit, strict: strict}
+}
+
+// SetFlight attaches a flight recorder so every charge/credit (and the
+// overflow crossing, if any) leaves an event trail. Must be called
+// before the budget is shared with workers; events are pure telemetry
+// and never alter accounting.
+func (b *Budget) SetFlight(fr *flight.Recorder, qid uint32) {
+	if b != nil {
+		b.fr, b.qid = fr, qid
+	}
 }
 
 // Acquire charges n bytes. In strict mode it fails when the charge
@@ -57,6 +75,12 @@ func (b *Budget) Acquire(n int64) error {
 			break
 		}
 	}
+	b.fr.Record(flight.EvBudgetCharge, b.qid, n, u, b.limit, 0)
+	if b.limit > 0 && u > b.limit && u-n <= b.limit {
+		// This charge crossed the limit — record the crossing exactly
+		// once per excursion regardless of how far usage climbs.
+		b.fr.Record(flight.EvBudgetOverflow, b.qid, u, b.limit, n, boolArg(b.strict))
+	}
 	if b.strict && b.limit > 0 && u > b.limit {
 		return fmt.Errorf("%w: %d bytes in flight, limit %d", ErrBudget, u, b.limit)
 	}
@@ -66,8 +90,16 @@ func (b *Budget) Acquire(n int64) error {
 // Release returns n bytes to the budget.
 func (b *Budget) Release(n int64) {
 	if b != nil {
-		b.used.Add(-n)
+		u := b.used.Add(-n)
+		b.fr.Record(flight.EvBudgetCredit, b.qid, n, u, b.limit, 0)
 	}
+}
+
+func boolArg(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // Used returns the bytes currently charged.

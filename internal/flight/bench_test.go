@@ -1,0 +1,54 @@
+package flight
+
+import "testing"
+
+// BenchmarkFlightRecordSteadyState is the CI-gated overhead benchmark:
+// the flight-bench workflow step fails the build if this allocates or
+// exceeds the per-event latency ceiling (see .github/workflows/ci.yml).
+func BenchmarkFlightRecordSteadyState(b *testing.B) {
+	r := New(DefaultCapacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(EvBudgetCharge, 7, int64(i), 4096, 0, 0)
+	}
+}
+
+// BenchmarkFlightRecordParallel measures contended recording — several
+// goroutines racing the same ring, as compare workers do in real runs.
+func BenchmarkFlightRecordParallel(b *testing.B) {
+	r := New(DefaultCapacity)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int64
+		for pb.Next() {
+			i++
+			r.Record(EvBudgetCharge, 7, i, 4096, 0, 0)
+		}
+	})
+}
+
+// BenchmarkFlightLabelHot measures the interned-label fast path (RLock +
+// map hit) that query-start recording takes on every repeated query.
+func BenchmarkFlightLabelHot(b *testing.B) {
+	r := New(64)
+	r.Label("SELECT * FROM a JOIN b")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Label("SELECT * FROM a JOIN b")
+	}
+}
+
+func BenchmarkFlightSnapshot(b *testing.B) {
+	r := New(1024)
+	for i := 0; i < 2048; i++ {
+		r.Record(EvBudgetCharge, 1, int64(i), 0, 0, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.Snapshot(0)) != 1024 {
+			b.Fatal("short snapshot")
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"math"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -63,5 +66,112 @@ func TestWritePrometheus(t *testing.T) {
 	var nb strings.Builder
 	if err := nilReg.WritePrometheus(&nb); err != nil || nb.Len() != 0 {
 		t.Fatalf("nil registry: err=%v out=%q", err, nb.String())
+	}
+}
+
+// promHistogram parses one histogram's series out of an exposition dump.
+type promHistogram struct {
+	les    []float64 // bucket upper bounds, in emission order (+Inf = math.Inf)
+	counts []int64   // cumulative counts, parallel to les
+	sum    float64
+	count  int64
+}
+
+func parsePromHistogram(t *testing.T, out, name string) promHistogram {
+	t.Helper()
+	bucketRe := regexp.MustCompile(`^` + name + `_bucket\{le="([^"]+)"\} (\d+)$`)
+	var h promHistogram
+	for _, line := range strings.Split(out, "\n") {
+		if m := bucketRe.FindStringSubmatch(line); m != nil {
+			le := math.Inf(1)
+			if m[1] != "+Inf" {
+				var err error
+				if le, err = strconv.ParseFloat(m[1], 64); err != nil {
+					t.Fatalf("bucket bound %q: %v", m[1], err)
+				}
+			}
+			c, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count %q: %v", m[2], err)
+			}
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, c)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, name+"_sum "); ok {
+			h.sum, _ = strconv.ParseFloat(rest, 64)
+		}
+		if rest, ok := strings.CutPrefix(line, name+"_count "); ok {
+			h.count, _ = strconv.ParseInt(rest, 10, 64)
+		}
+	}
+	return h
+}
+
+// TestWritePrometheusHistogramContract locks the exposition-format
+// invariants a Prometheus scraper depends on: bucket bounds emitted in
+// strictly increasing order ending at +Inf, cumulative (monotone
+// non-decreasing) bucket counts, the +Inf bucket equal to _count, and
+// _sum/_count consistent with what was observed.
+func TestWritePrometheusHistogramContract(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("exec.modeled", PowersOf2Buckets(1, 8))
+	observations := []float64{0.5, 1, 3, 3, 17, 100, 1000}
+	var wantSum float64
+	for _, v := range observations {
+		h.Observe(v)
+		wantSum += v
+	}
+	// An empty histogram must still emit a complete series.
+	r.Histogram("exec.empty", []float64{1, 2})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	ph := parsePromHistogram(t, out, "exec_modeled")
+	if len(ph.les) == 0 {
+		t.Fatal("no bucket series emitted")
+	}
+	for i := 1; i < len(ph.les); i++ {
+		if ph.les[i] <= ph.les[i-1] {
+			t.Errorf("bucket bounds not increasing: le[%d]=%g after %g", i, ph.les[i], ph.les[i-1])
+		}
+		if ph.counts[i] < ph.counts[i-1] {
+			t.Errorf("bucket counts not cumulative: count[%d]=%d after %d", i, ph.counts[i], ph.counts[i-1])
+		}
+	}
+	if !math.IsInf(ph.les[len(ph.les)-1], 1) {
+		t.Errorf("last bucket le = %g, want +Inf", ph.les[len(ph.les)-1])
+	}
+	if got := ph.counts[len(ph.counts)-1]; got != ph.count {
+		t.Errorf("+Inf bucket = %d, _count = %d; must agree", got, ph.count)
+	}
+	if ph.count != int64(len(observations)) {
+		t.Errorf("_count = %d, want %d", ph.count, len(observations))
+	}
+	if ph.sum != wantSum {
+		t.Errorf("_sum = %g, want %g", ph.sum, wantSum)
+	}
+	// Every observation is <= some bound; spot-check one interior bucket:
+	// bounds 1,2,4,... → observations ≤ 4 are {0.5, 1, 3, 3}.
+	for i, le := range ph.les {
+		if le == 4 {
+			if ph.counts[i] != 4 {
+				t.Errorf(`bucket le="4" = %d, want 4`, ph.counts[i])
+			}
+		}
+	}
+
+	// The empty histogram: all-zero cumulative series, zero sum/count,
+	// and no min/max/percentile gauges (they are meaningless at n=0).
+	pe := parsePromHistogram(t, out, "exec_empty")
+	if len(pe.les) != 3 || pe.counts[len(pe.counts)-1] != 0 || pe.count != 0 || pe.sum != 0 {
+		t.Errorf("empty histogram series = %+v", pe)
+	}
+	if strings.Contains(out, "exec_empty_min") || strings.Contains(out, "exec_empty_p50") {
+		t.Error("empty histogram emitted summary gauges")
 	}
 }

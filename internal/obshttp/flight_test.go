@@ -1,0 +1,299 @@
+package obshttp_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/flight"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/obshttp"
+	"shufflejoin/internal/pipeline"
+)
+
+func TestStatusEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := obshttp.NewHub(obshttp.Config{
+		Registry: reg,
+		Status: obshttp.StatusInfo{
+			Component: "test-harness",
+			Details:   map[string]string{"nodes": "4"},
+		},
+	})
+	runQuery(t, hub, reg, "status-q")
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	code, body, ct := get(t, srv, "/debug/status")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Fatalf("status = %d, content-type = %q", code, ct)
+	}
+	var p struct {
+		Component     string            `json:"component"`
+		Details       map[string]string `json:"details"`
+		GoVersion     string            `json:"go_version"`
+		GOMAXPROCS    int               `json:"gomaxprocs"`
+		UptimeSeconds float64           `json:"uptime_seconds"`
+		QueriesTotal  uint64            `json:"queries_total"`
+		Flight        flight.Stats      `json:"flight"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("status payload: %v", err)
+	}
+	if p.Component != "test-harness" || p.Details["nodes"] != "4" {
+		t.Errorf("status info = %+v", p)
+	}
+	if p.GoVersion == "" || p.GOMAXPROCS < 1 || p.UptimeSeconds < 0 {
+		t.Errorf("runtime fields = %+v", p)
+	}
+	if p.QueriesTotal != 1 {
+		t.Errorf("queries_total = %d, want 1", p.QueriesTotal)
+	}
+	if p.Flight.Capacity == 0 || p.Flight.Recorded == 0 {
+		t.Errorf("flight stats = %+v (default recorder should have recorded the query)", p.Flight)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	fr := flight.New(256)
+	reg := obs.NewRegistry()
+	hub := obshttp.NewHub(obshttp.Config{Registry: reg, Flight: fr})
+
+	// Record through the pipeline into the hub's recorder.
+	runQueryFlight(t, hub, fr, "flight-q")
+
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	code, body, ct := get(t, srv, "/debug/flight")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Fatalf("status = %d, content-type = %q", code, ct)
+	}
+	var p struct {
+		Capacity int `json:"capacity"`
+		Events   []struct {
+			Type string         `json:"type"`
+			Args map[string]any `json:"args"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("flight payload: %v", err)
+	}
+	if p.Capacity != 256 || len(p.Events) == 0 {
+		t.Fatalf("payload = capacity %d, %d events", p.Capacity, len(p.Events))
+	}
+	types := map[string]bool{}
+	for _, e := range p.Events {
+		types[e.Type] = true
+	}
+	for _, want := range []string{"query-start", "stage-start", "align-done", "compare-done", "query-finish"} {
+		if !types[want] {
+			t.Errorf("no %s event in /debug/flight dump (have %v)", want, types)
+		}
+	}
+
+	// ?limit bounds the dump; malformed limits are a 400.
+	code, body, _ = get(t, srv, "/debug/flight?limit=2")
+	if code != 200 {
+		t.Fatalf("limited dump status = %d", code)
+	}
+	var limited struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &limited); err != nil || len(limited.Events) != 2 {
+		t.Errorf("limit=2 returned %d events (%v)", len(limited.Events), err)
+	}
+	if code, _, _ := get(t, srv, "/debug/flight?limit=banana"); code != 400 {
+		t.Errorf("malformed limit status = %d, want 400", code)
+	}
+	if code, _, _ := get(t, srv, "/debug/flight?limit=-3"); code != 400 {
+		t.Errorf("negative limit status = %d, want 400", code)
+	}
+}
+
+// runQueryFlight is runQuery with the query's flight recorder pinned to
+// the hub's ring.
+func runQueryFlight(t *testing.T, hub *obshttp.Hub, fr *flight.Recorder, label string) {
+	t.Helper()
+	a := buildArray("A<v:int>[i=1,100,20]", 71, 40, 15)
+	b := buildArray("B<w:int>[j=1,100,20]", 72, 40, 15)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := cluster.MustNew(2)
+	c.Load(a, cluster.RoundRobin)
+	c.Load(b, cluster.RoundRobin)
+	if _, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical:    logical.PlanOptions{Selectivity: 0.5},
+		Hooks:      hub,
+		QueryLabel: label,
+		Flight:     fr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syntheticFinish pushes one synthetic finished query through the hub's
+// QueryFinished hook — the planted-skew harness for the anomaly tests.
+func syntheticFinish(hub *obshttp.Hub, label string, compare []float64, recv []int64, unitCells []int64) {
+	p := pipeline.NewProgress(label)
+	hub.QueryStarted(p)
+	rep := &pipeline.Report{
+		NodeCompareTime: compare,
+		UnitCells:       unitCells,
+		StragglerNode:   -1,
+	}
+	rep.Align.CellsRecv = recv
+	hub.QueryFinished(p, rep, nil)
+}
+
+// TestAnomalyDetectionPlantedStraggler plants a persistent straggler in
+// synthetic query reports and watches the hub surface it everywhere it
+// promises: /debug/anomalies, the query-log entry annotations, and the
+// engine gauges on /metrics.
+func TestAnomalyDetectionPlantedStraggler(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := obshttp.NewHub(obshttp.Config{Registry: reg, Flight: flight.New(128)})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	// Before warmup the gauge reads -1 (no straggler).
+	_, body, _ := get(t, srv, "/metrics")
+	if !strings.Contains(body, "engine_anomaly_straggler_node -1") {
+		t.Errorf("initial straggler gauge missing:\n%s", body)
+	}
+
+	// Node 2 is 10x slower than its peers, every query.
+	for i := 0; i < 4; i++ {
+		syntheticFinish(hub, fmt.Sprintf("planted-%d", i), []float64{1, 1, 10, 1}, nil, nil)
+	}
+
+	code, body, ct := get(t, srv, "/debug/anomalies")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Fatalf("status = %d, content-type = %q", code, ct)
+	}
+	var snap flight.DetectorSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("anomalies payload: %v", err)
+	}
+	if snap.Flagged != 1 || snap.Total == 0 {
+		t.Fatalf("snapshot = flagged %d, total %d", snap.Flagged, snap.Total)
+	}
+	if len(snap.Nodes) < 3 || snap.Nodes[2].StragglerSince == 0 {
+		t.Errorf("node 2 not flagged: %+v", snap.Nodes)
+	}
+	if len(snap.Recent) == 0 || snap.Recent[0].Kind != "straggler-compare" || snap.Recent[0].Node != 2 {
+		t.Errorf("recent anomalies = %+v", snap.Recent)
+	}
+
+	// The Prometheus gauge names the straggler.
+	_, body, _ = get(t, srv, "/metrics")
+	if !strings.Contains(body, "engine_anomaly_straggler_node 2") {
+		t.Errorf("straggler gauge not exported:\n%s", body)
+	}
+	if !strings.Contains(body, "engine_anomaly_flagged_nodes 1") {
+		t.Errorf("flagged-nodes gauge not exported:\n%s", body)
+	}
+	if !strings.Contains(body, "engine_anomaly_total") {
+		t.Errorf("anomaly counter not exported:\n%s", body)
+	}
+
+	// The query-log entry that crossed the warmup carries the annotation.
+	var annotated bool
+	for _, e := range hub.Log().Entries() {
+		for _, a := range e.Anomalies {
+			if strings.Contains(a, "node 2") {
+				annotated = true
+			}
+		}
+	}
+	if !annotated {
+		t.Error("no query-log entry carries the straggler annotation")
+	}
+
+	// The flight ring carries the anomaly events too.
+	code, body, _ = get(t, srv, "/debug/flight")
+	if code != 200 || !strings.Contains(body, `"anomaly"`) {
+		t.Errorf("no anomaly events on /debug/flight (status %d)", code)
+	}
+}
+
+// TestQueryParamHardening: malformed query parameters are a 400, not a
+// silent ignore, and every handler declares a Content-Type.
+func TestQueryParamHardening(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := obshttp.NewHub(obshttp.Config{Registry: reg})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/debug/queries?slow=banana", 400},
+		{"/debug/queries?slow=2", 400},
+		{"/debug/queries?limit=banana", 400},
+		{"/debug/queries?limit=-1", 400},
+		{"/debug/queries?slow=1&limit=10", 200},
+		{"/debug/queries?slow=0", 200},
+		{"/debug/queries", 200},
+		{"/debug/flight?limit=banana", 400},
+		{"/debug/flight", 200},
+		{"/debug/anomalies", 200},
+		{"/debug/status", 200},
+	} {
+		code, _, ct := get(t, srv, tc.path)
+		if code != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, code, tc.want)
+		}
+		if ct == "" {
+			t.Errorf("GET %s: no Content-Type header", tc.path)
+		}
+	}
+}
+
+// TestPprofMounted: the standard profiles are reachable through the hub.
+func TestPprofMounted(t *testing.T) {
+	hub := obshttp.NewHub(obshttp.Config{Registry: obs.NewRegistry()})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	if code, body, _ := get(t, srv, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index status = %d", code)
+	}
+	if code, _, _ := get(t, srv, "/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Errorf("goroutine profile status = %d", code)
+	}
+}
+
+// TestQueriesLimitParam: a well-formed limit truncates the newest-first
+// log.
+func TestQueriesLimitParam(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := obshttp.NewHub(obshttp.Config{Registry: reg})
+	for i := 0; i < 5; i++ {
+		syntheticFinish(hub, fmt.Sprintf("q-%d", i), nil, nil, nil)
+	}
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	_, body, _ := get(t, srv, "/debug/queries?limit=2")
+	var p struct {
+		Total   uint64 `json:"total"`
+		Queries []struct {
+			Query string `json:"query"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 5 || len(p.Queries) != 2 {
+		t.Fatalf("total %d, returned %d, want 5/2", p.Total, len(p.Queries))
+	}
+	if p.Queries[0].Query != "q-4" || p.Queries[1].Query != "q-3" {
+		t.Errorf("limited queries = %+v, want newest first", p.Queries)
+	}
+}

@@ -1,17 +1,26 @@
 // Package obshttp is the engine's live telemetry endpoint: an HTTP
 // surface over the observability layer that serves
 //
-//	/metrics         — the metrics registry in Prometheus text format
-//	/debug/queries   — a ring-buffer query log with EXPLAIN ANALYZE
-//	                   profiles and a configurable slow-query threshold
-//	/debug/inflight  — per-stage progress of currently running queries
+//	/metrics          — the metrics registry in Prometheus text format,
+//	                    followed by the hub's own engine metrics
+//	                    (anomaly gauges, uptime)
+//	/debug/queries    — a ring-buffer query log with EXPLAIN ANALYZE
+//	                    profiles and a configurable slow-query threshold
+//	/debug/inflight   — per-stage progress of currently running queries
+//	/debug/flight     — recent flight-recorder events, decoded to JSON
+//	/debug/anomalies  — the online skew-anomaly detector's state
+//	/debug/status     — build/runtime identification and engine config
+//	/debug/pprof/...  — the standard net/http/pprof profiles
 //
 // The Hub at the center implements pipeline.QueryHooks: attach it to a
 // query's Options.Hooks (the facade's WithQueryLog does this) and every
 // execution registers its live Progress tracker on start and folds its
-// profiled Report into the query log on finish. The Hub is safe for
-// concurrent queries and concurrent HTTP reads; it never blocks the
-// orchestration goroutine beyond a mutex-guarded ring append.
+// profiled Report into the query log on finish — where the anomaly
+// detector also observes it, annotating the entry (and its profile)
+// with any straggler, hot-receiver, or hot-unit conditions it raises.
+// The Hub is safe for concurrent queries and concurrent HTTP reads; it
+// never blocks the orchestration goroutine beyond a mutex-guarded ring
+// append and the detector's EWMA fold.
 package obshttp
 
 import (
@@ -19,13 +28,28 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	rtdebug "runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/pipeline"
 )
+
+// StatusInfo identifies the process on /debug/status.
+type StatusInfo struct {
+	// Component names the serving binary ("shufflejoin", "expdriver", a
+	// test harness...).
+	Component string `json:"component,omitempty"`
+	// Details carries free-form engine configuration (node count,
+	// planner, scheduling mode...) for the status page.
+	Details map[string]string `json:"details,omitempty"`
+}
 
 // Config parameterizes a Hub.
 type Config struct {
@@ -40,14 +64,31 @@ type Config struct {
 	// threshold as slow (Entry.Slow, and the slow_queries counter in the
 	// /debug/queries header). Zero disables slow marking.
 	SlowQuery time.Duration
+	// Flight is the recorder served on /debug/flight; nil uses the
+	// process-wide flight.Default ring.
+	Flight *flight.Recorder
+	// Detector overrides the anomaly detector's tuning; the zero value
+	// selects the flight package defaults.
+	Detector flight.DetectorConfig
+	// Status identifies the process on /debug/status.
+	Status StatusInfo
 }
 
 // Hub collects live telemetry and serves it over HTTP. Create with
 // NewHub, attach to queries via pipeline Options.Hooks, and expose with
 // Serve (or mount Handler on an existing mux).
 type Hub struct {
-	cfg Config
-	log *QueryLog
+	cfg   Config
+	log   *QueryLog
+	rec   *flight.Recorder
+	det   *flight.Detector
+	start time.Time
+	// engine holds the hub's own operational metrics (anomaly gauges,
+	// uptime). It is deliberately separate from cfg.Registry: per-query
+	// trace registries are fingerprinted bit-for-bit across Parallelism
+	// settings, and anomaly state is history-dependent, so it must never
+	// leak into them. /metrics serves both.
+	engine *obs.Registry
 
 	mu       sync.Mutex
 	seq      uint64
@@ -63,15 +104,28 @@ func NewHub(cfg Config) *Hub {
 	if cfg.QueryLogCapacity <= 0 {
 		cfg.QueryLogCapacity = 128
 	}
-	return &Hub{
+	rec := cfg.Flight
+	if rec == nil {
+		rec = flight.Default
+	}
+	h := &Hub{
 		cfg:      cfg,
 		log:      newQueryLog(cfg.QueryLogCapacity),
+		rec:      rec,
+		det:      flight.NewDetector(cfg.Detector, rec),
+		start:    time.Now(),
+		engine:   obs.NewRegistry(),
 		inflight: make(map[*pipeline.Progress]uint64),
 	}
+	h.engine.Gauge("engine_anomaly_straggler_node").Set(-1)
+	return h
 }
 
 // Log returns the hub's query log.
 func (h *Hub) Log() *QueryLog { return h.log }
+
+// Detector returns the hub's anomaly detector.
+func (h *Hub) Detector() *flight.Detector { return h.det }
 
 // QueryStarted implements pipeline.QueryHooks: the query's Progress
 // tracker becomes visible on /debug/inflight.
@@ -116,6 +170,22 @@ func (h *Hub) QueryFinished(p *pipeline.Progress, rep *pipeline.Report, err erro
 		e.StragglerNode = rep.StragglerNode
 		e.LockWaitSeconds = rep.LockWaitSeconds
 		e.Profile = rep.Profile
+		if err == nil {
+			// Fold the finished query into the online anomaly detector
+			// and surface what it raised: on the log entry, on the
+			// profile (an annotation outside the fingerprint), and as
+			// engine gauges a Prometheus scraper can alert on.
+			for _, a := range h.det.Observe(snap.Query, rep.NodeCompareTime, rep.Align.CellsRecv, rep.UnitCells) {
+				e.Anomalies = append(e.Anomalies, a.String())
+			}
+			if rep.Profile != nil {
+				rep.Profile.Anomalies = e.Anomalies
+			}
+			h.engine.Counter("engine_anomaly_total").Add(int64(len(e.Anomalies)))
+			flagged, straggler := h.det.Flagged()
+			h.engine.Gauge("engine_anomaly_flagged_nodes").Set(float64(flagged))
+			h.engine.Gauge("engine_anomaly_straggler_node").Set(float64(straggler))
+		}
 	}
 	h.log.add(e)
 }
@@ -141,6 +211,7 @@ type Entry struct {
 	LockWaitSeconds float64           `json:"lock_wait_seconds"`
 	Slow            bool              `json:"slow"`
 	Error           string            `json:"error,omitempty"`
+	Anomalies       []string          `json:"anomalies,omitempty"`
 	Profile         *pipeline.Profile `json:"profile,omitempty"`
 }
 
@@ -205,22 +276,60 @@ func (l *QueryLog) Slow() uint64 {
 	return l.slow
 }
 
-// Handler returns the hub's HTTP mux: /metrics, /debug/queries,
-// /debug/inflight.
+// Handler returns the hub's HTTP mux: /metrics, the /debug endpoints,
+// and the standard pprof profiles under /debug/pprof/.
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", h.handleMetrics)
 	mux.HandleFunc("/debug/queries", h.handleQueries)
 	mux.HandleFunc("/debug/inflight", h.handleInflight)
+	mux.HandleFunc("/debug/flight", h.handleFlight)
+	mux.HandleFunc("/debug/anomalies", h.handleAnomalies)
+	mux.HandleFunc("/debug/status", h.handleStatus)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// boolParam parses a 0/1 query parameter; a malformed value is a 400.
+func boolParam(w http.ResponseWriter, r *http.Request, name string) (value, ok bool) {
+	switch r.URL.Query().Get(name) {
+	case "", "0":
+		return false, true
+	case "1":
+		return true, true
+	default:
+		http.Error(w, fmt.Sprintf("obshttp: query parameter %q must be 0 or 1", name), http.StatusBadRequest)
+		return false, false
+	}
+}
+
+// intParam parses a non-negative integer query parameter with a
+// default; a malformed or negative value is a 400.
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (value int, ok bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("obshttp: query parameter %q must be a non-negative integer", name), http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 func (h *Hub) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.engine.Gauge("engine_uptime_seconds").Set(time.Since(h.start).Seconds())
 	if err := h.cfg.Registry.WritePrometheus(w); err != nil {
 		// Headers are sent; nothing to do beyond dropping the connection.
 		return
 	}
+	h.engine.WritePrometheus(w) //nolint:errcheck // same: headers already sent
 }
 
 // queriesPayload is the /debug/queries response shape.
@@ -233,12 +342,20 @@ type queriesPayload struct {
 }
 
 func (h *Hub) handleQueries(w http.ResponseWriter, r *http.Request) {
+	slowOnly, ok := boolParam(w, r, "slow")
+	if !ok {
+		return
+	}
+	limit, ok := intParam(w, r, "limit", 0)
+	if !ok {
+		return
+	}
 	entries := h.log.Entries()
 	// Newest first: the interesting queries are the recent ones.
 	for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
 		entries[i], entries[j] = entries[j], entries[i]
 	}
-	if r.URL.Query().Get("slow") == "1" {
+	if slowOnly {
 		kept := entries[:0]
 		for _, e := range entries {
 			if e.Slow {
@@ -246,6 +363,9 @@ func (h *Hub) handleQueries(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		entries = kept
+	}
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
 	}
 	writeJSON(w, queriesPayload{
 		Total:       h.log.Total(),
@@ -273,6 +393,72 @@ func (h *Hub) handleInflight(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, struct {
 		Running []inflightEntry `json:"running"`
 	}{running})
+}
+
+// handleFlight serves the flight recorder's recent events, decoded.
+// ?limit=N bounds the dump (default 256, 0 = everything retained).
+func (h *Hub) handleFlight(w http.ResponseWriter, r *http.Request) {
+	limit, ok := intParam(w, r, "limit", 256)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	h.rec.WriteJSON(w, limit) //nolint:errcheck // headers already sent
+}
+
+// handleAnomalies serves the online skew-anomaly detector's state:
+// per-node EWMAs and flags, and the recent anomalies newest first.
+func (h *Hub) handleAnomalies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, h.det.Snapshot())
+}
+
+// statusPayload is the /debug/status response shape.
+type statusPayload struct {
+	StatusInfo
+	GoVersion     string       `json:"go_version"`
+	GoOSArch      string       `json:"go_os_arch"`
+	Module        string       `json:"module,omitempty"`
+	VCSRevision   string       `json:"vcs_revision,omitempty"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Goroutines    int          `json:"goroutines"`
+	Start         time.Time    `json:"start"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	SlowMs        float64      `json:"slow_threshold_ms"`
+	LogCapacity   int          `json:"query_log_capacity"`
+	QueriesTotal  uint64       `json:"queries_total"`
+	QueriesSlow   uint64       `json:"queries_slow"`
+	Inflight      int          `json:"inflight"`
+	Flight        flight.Stats `json:"flight"`
+}
+
+func (h *Hub) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	inflight := len(h.inflight)
+	h.mu.Unlock()
+	p := statusPayload{
+		StatusInfo:    h.cfg.Status,
+		GoVersion:     runtime.Version(),
+		GoOSArch:      runtime.GOOS + "/" + runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Goroutines:    runtime.NumGoroutine(),
+		Start:         h.start,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		SlowMs:        h.cfg.SlowQuery.Seconds() * 1000,
+		LogCapacity:   h.log.cap,
+		QueriesTotal:  h.log.Total(),
+		QueriesSlow:   h.log.Slow(),
+		Inflight:      inflight,
+		Flight:        h.rec.Stats(),
+	}
+	if bi, ok := rtdebug.ReadBuildInfo(); ok {
+		p.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				p.VCSRevision = s.Value
+			}
+		}
+	}
+	writeJSON(w, p)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

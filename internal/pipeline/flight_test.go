@@ -1,0 +1,314 @@
+package pipeline_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"shufflejoin/internal/batch"
+	"shufflejoin/internal/flight"
+	"shufflejoin/internal/join"
+	"shufflejoin/internal/logical"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/pipeline"
+)
+
+// TestFlightRecordingEquivalence is the flight recorder's determinism
+// contract: a recorded run is bit-for-bit identical to an unrecorded
+// one — output cells, modeled times, trace and profile fingerprints —
+// at every Parallelism setting. Events are telemetry, never inputs.
+func TestFlightRecordingEquivalence(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,300,30]", 21, 150, 25)
+	b := buildArray("B<w:int>[j=1,300,30]", 22, 140, 25)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+
+	run := func(t *testing.T, par int, fr *flight.Recorder, off bool) (*pipeline.Report, string) {
+		t.Helper()
+		c := newCluster(t, 4, a.Clone(), b.Clone())
+		tr := obs.New("flight-equiv")
+		rep, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+			Logical:     logical.PlanOptions{Selectivity: 0.5},
+			Parallelism: par,
+			Trace:       tr,
+			Profile:     true,
+			Flight:      fr,
+			FlightOff:   off,
+		})
+		if err != nil {
+			t.Fatalf("Run(par=%d): %v", par, err)
+		}
+		return rep, tr.Fingerprint()
+	}
+
+	for _, par := range []int{1, 4, 0} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			fr := flight.New(4096)
+			want, wantFP := run(t, par, nil, true) // recording off
+			got, gotFP := run(t, par, fr, false)   // recording on
+
+			if gotFP != wantFP {
+				t.Errorf("trace fingerprints differ between recorded and unrecorded runs")
+			}
+			if got.Profile.Fingerprint() != want.Profile.Fingerprint() {
+				t.Errorf("profile fingerprints differ:\n--- recorded ---\n%s\n--- unrecorded ---\n%s",
+					got.Profile.Fingerprint(), want.Profile.Fingerprint())
+			}
+			if got.Matches != want.Matches || got.AlignTime != want.AlignTime || got.CompareTime != want.CompareTime {
+				t.Errorf("recorded run diverged: matches %d/%d align %v/%v compare %v/%v",
+					got.Matches, want.Matches, got.AlignTime, want.AlignTime, got.CompareTime, want.CompareTime)
+			}
+			if !reflect.DeepEqual(cellsOf(got.Output), cellsOf(want.Output)) {
+				t.Error("output cells differ between recorded and unrecorded runs")
+			}
+
+			// The recorded run actually left a trail, and the query's
+			// lifecycle events bracket it in order.
+			counts := map[flight.Type]int{}
+			for _, e := range fr.Snapshot(0) {
+				counts[e.Type]++
+			}
+			if counts[flight.EvQueryStart] != 1 || counts[flight.EvQueryFinish] != 1 {
+				t.Errorf("lifecycle events = %v", counts)
+			}
+			if counts[flight.EvStageStart] != 6 || counts[flight.EvStageFinish] != 6 {
+				t.Errorf("stage events = %d/%d, want 6/6", counts[flight.EvStageStart], counts[flight.EvStageFinish])
+			}
+			if counts[flight.EvAlignDone] != 1 || counts[flight.EvCompareDone] != 1 {
+				t.Errorf("align/compare events = %v", counts)
+			}
+			if counts[flight.EvBudgetCharge] == 0 || counts[flight.EvBudgetCredit] == 0 {
+				t.Errorf("no budget events recorded: %v", counts)
+			}
+		})
+	}
+}
+
+// TestFlightDefaultRecorderOn: with no flight options at all, queries
+// record into the process-wide flight.Default ring — the recorder is on
+// by default.
+func TestFlightDefaultRecorderOn(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,100,20]", 31, 50, 15)
+	b := buildArray("B<w:int>[j=1,100,20]", 32, 50, 15)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 2, a, b)
+	before := flight.Default.Stats().Recorded
+	if _, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical: logical.PlanOptions{Selectivity: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if after := flight.Default.Stats().Recorded; after <= before {
+		t.Errorf("default recorder did not advance: %d -> %d", before, after)
+	}
+}
+
+// bundleDirs lists the bundle directories under a postmortem root.
+func bundleDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading postmortem dir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	return out
+}
+
+// readMeta parses a bundle's meta.json.
+func readMeta(t *testing.T, bundle string) map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	if err != nil {
+		t.Fatalf("bundle %s has no meta.json: %v", bundle, err)
+	}
+	var meta map[string]any
+	if err := json.Unmarshal(data, &meta); err != nil {
+		t.Fatalf("meta.json: %v", err)
+	}
+	return meta
+}
+
+// TestPostmortemOnStrictBudget: a strict-memory failure ships a complete
+// diagnostic bundle named for the strict-budget reason.
+func TestPostmortemOnStrictBudget(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,200,20]", 9, 120, 25)
+	b := buildArray("B<w:int>[j=1,200,20]", 10, 110, 25)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 3, a, b)
+	dir := t.TempDir()
+	fr := flight.New(1024)
+	pm := &flight.Postmortem{Dir: dir, Flight: fr}
+
+	_, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical:      logical.PlanOptions{Selectivity: 0.5},
+		MemoryBudget: 256,
+		StrictMemory: true,
+		Flight:       fr,
+		Postmortem:   pm,
+	})
+	if !errors.Is(err, batch.ErrBudget) {
+		t.Fatalf("err = %v, want batch.ErrBudget", err)
+	}
+
+	bundles := bundleDirs(t, dir)
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %v, want exactly one", bundles)
+	}
+	bundle := bundles[0]
+	meta := readMeta(t, bundle)
+	if meta["reason"] != "strict-budget" {
+		t.Errorf("reason = %v", meta["reason"])
+	}
+	for _, f := range []string{"flight.json", "failure.json", "report.json", "goroutines.txt", "heap.pprof"} {
+		if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
+			t.Errorf("bundle missing %s: %v", f, err)
+		}
+	}
+	// The flight dump contains the budget overflow that killed the query.
+	data, _ := os.ReadFile(filepath.Join(bundle, "flight.json"))
+	if !strings.Contains(string(data), "budget-overflow") {
+		t.Error("flight.json does not record the budget overflow")
+	}
+	var failure map[string]any
+	fdata, _ := os.ReadFile(filepath.Join(bundle, "failure.json"))
+	if err := json.Unmarshal(fdata, &failure); err != nil {
+		t.Fatalf("failure.json: %v", err)
+	}
+	if failure["stage"] != "slice-map" || !strings.Contains(failure["error"].(string), "budget") {
+		t.Errorf("failure section = %v", failure)
+	}
+}
+
+// panicStage is a pipeline stage that always panics, standing in for an
+// engine bug.
+type panicStage struct{}
+
+func (panicStage) Name() string                     { return "panic-stage" }
+func (panicStage) Run(*pipeline.QueryContext) error { panic("injected failure") }
+
+// TestPostmortemOnPanic: a panicking stage captures a bundle with the
+// panic value and stack, then re-panics to the caller.
+func TestPostmortemOnPanic(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,100,20]", 41, 40, 15)
+	b := buildArray("B<w:int>[j=1,100,20]", 42, 40, 15)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 2, a, b)
+	dir := t.TempDir()
+	fr := flight.New(256)
+	pm := &flight.Postmortem{Dir: dir, Flight: fr}
+
+	dl, err := c.Catalog.Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := c.Catalog.Lookup("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := pipeline.NewQueryContext(c, dl, dr, pred, nil, pipeline.Options{
+		Logical:    logical.PlanOptions{Selectivity: 0.5},
+		Flight:     fr,
+		Postmortem: pm,
+	})
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic did not propagate to the caller")
+			}
+		}()
+		pipeline.Execute(qc, []pipeline.Stage{pipeline.LogicalPlan{}, panicStage{}})
+	}()
+
+	bundles := bundleDirs(t, dir)
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %v, want exactly one", bundles)
+	}
+	meta := readMeta(t, bundles[0])
+	if meta["reason"] != "panic" {
+		t.Errorf("reason = %v", meta["reason"])
+	}
+	var failure map[string]any
+	fdata, _ := os.ReadFile(filepath.Join(bundles[0], "failure.json"))
+	if err := json.Unmarshal(fdata, &failure); err != nil {
+		t.Fatalf("failure.json: %v", err)
+	}
+	if failure["panic"] != "injected failure" || failure["stage"] != "panic-stage" {
+		t.Errorf("failure section = %v", failure)
+	}
+	if stack, _ := failure["stack"].(string); !strings.Contains(stack, "panicStage") {
+		t.Error("failure section carries no stack trace")
+	}
+	// The postmortem flight event marks the trail.
+	var marked bool
+	for _, e := range fr.Snapshot(0) {
+		if e.Type == flight.EvPostmortem && fr.LabelName(e.Args[0]) == "panic" {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Error("no postmortem flight event recorded")
+	}
+}
+
+// TestPostmortemOnSlowQuery: a query breaching the sink's SlowQuery
+// threshold ships a bundle even though it succeeded.
+func TestPostmortemOnSlowQuery(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,100,20]", 51, 40, 15)
+	b := buildArray("B<w:int>[j=1,100,20]", 52, 40, 15)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 2, a, b)
+	dir := t.TempDir()
+	pm := &flight.Postmortem{Dir: dir, Flight: flight.New(256), SlowQuery: time.Nanosecond}
+
+	if _, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical:    logical.PlanOptions{Selectivity: 0.5},
+		Flight:     pm.Flight,
+		Postmortem: pm,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bundles := bundleDirs(t, dir)
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %v, want exactly one", bundles)
+	}
+	meta := readMeta(t, bundles[0])
+	if meta["reason"] != "slow-query" {
+		t.Errorf("reason = %v", meta["reason"])
+	}
+	// A successful slow query has a full profile to dump.
+	if _, err := os.Stat(filepath.Join(bundles[0], "profile.json")); err != nil {
+		t.Errorf("bundle missing profile.json: %v", err)
+	}
+}
+
+// TestProfileHotUnits: the profile's hot-unit list is derived
+// deterministically from the per-unit cell totals the planner assigned.
+func TestProfileHotUnits(t *testing.T) {
+	a := buildArray("A<v:int>[i=1,300,30]", 61, 150, 25)
+	b := buildArray("B<w:int>[j=1,300,30]", 62, 140, 25)
+	pred := join.Predicate{{Left: join.Term{Name: "v"}, Right: join.Term{Name: "w"}}}
+	c := newCluster(t, 3, a, b)
+	rep, err := pipeline.Run(c, "A", "B", pred, nil, pipeline.Options{
+		Logical: logical.PlanOptions{Selectivity: 0.5},
+		Profile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UnitCells) == 0 {
+		t.Fatal("Report.UnitCells not populated")
+	}
+	want := flight.HotUnits(rep.UnitCells, 0, 0, 0)
+	if !reflect.DeepEqual(rep.Profile.HotUnits, want) {
+		t.Errorf("Profile.HotUnits = %+v, want %+v", rep.Profile.HotUnits, want)
+	}
+}

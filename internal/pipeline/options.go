@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"shufflejoin/internal/array"
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
 	"shufflejoin/internal/obs"
@@ -124,6 +125,42 @@ type Options struct {
 	// QueryLabel identifies the query in profiles, progress trackers, and
 	// query logs (typically the AQL text or an experiment label).
 	QueryLabel string
+	// Flight overrides the flight recorder the query's events are
+	// recorded into. The recorder is ON by default: a nil Flight uses the
+	// process-wide flight.Default ring. Recording is telemetry only — it
+	// never feeds back into planning, execution, traces, or fingerprints
+	// — and costs zero allocations per event in steady state.
+	Flight *flight.Recorder
+	// FlightOff disables flight recording for this query entirely.
+	FlightOff bool
+	// Postmortem overrides the diagnostic-bundle sink. When a query
+	// panics, fails a strict budget/bounds check, errors, or breaches the
+	// sink's SlowQuery threshold, Execute captures a bundle (recent
+	// flight events, profile, progress, runtime state) into its
+	// directory. Nil falls back to flight.DefaultPostmortem(), which is
+	// itself nil unless SHUFFLEJOIN_POSTMORTEM_DIR is set or a default
+	// was installed — so postmortems are off unless configured.
+	Postmortem *flight.Postmortem
+}
+
+// flightRecorder resolves the query's flight recorder: FlightOff wins,
+// then the explicit override, then the process default ring.
+func (o *Options) flightRecorder() *flight.Recorder {
+	if o.FlightOff {
+		return nil
+	}
+	if o.Flight != nil {
+		return o.Flight
+	}
+	return flight.Default
+}
+
+// postmortem resolves the query's diagnostic-bundle sink (may be nil).
+func (o *Options) postmortem() *flight.Postmortem {
+	if o.Postmortem != nil {
+		return o.Postmortem
+	}
+	return flight.DefaultPostmortem()
 }
 
 // workers resolves the Parallelism knob to an effective worker count.
@@ -248,6 +285,10 @@ type Report struct {
 	// NodeCompareTime is each node's modeled comparison seconds under the
 	// physical plan; CompareTime is its maximum (Compare stage).
 	NodeCompareTime []float64
+	// UnitCells is the per-join-unit cell total (both sides) the physical
+	// planner assigned work by — the raw material of hot-unit skew
+	// diagnostics (PhysicalPlan stage).
+	UnitCells []int64
 	// Skew is the straggler ratio of the comparison phase: the slowest
 	// node's modeled compare time over the mean (1 = perfectly balanced,
 	// 0 when no compare work exists) (Compare stage).

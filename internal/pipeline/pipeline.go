@@ -38,11 +38,16 @@
 package pipeline
 
 import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/batch"
 	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
 	"shufflejoin/internal/obs"
@@ -83,6 +88,13 @@ type QueryContext struct {
 
 	wallStart   time.Time
 	explainOnly bool // LogicalPlan stage: enumerate but do not select
+
+	// Flight-recorder attachment (Execute; nil when recording is off).
+	// Events are telemetry only: stages record decisions into fr but
+	// never read it back, so recorded and unrecorded runs are
+	// bit-for-bit identical.
+	fr  *flight.Recorder
+	qid uint32
 
 	// Plan-cache state (LogicalPlan stage, only when Opt.Cache is set).
 	sig    plancache.Signature // this query's cache signature
@@ -157,23 +169,46 @@ func NewQueryContext(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.
 // after the last stage.
 func Execute(qc *QueryContext, stages []Stage) error {
 	opt := qc.Opt
+	qc.fr = opt.flightRecorder()
+	qc.qid = qc.fr.NextQID()
+	pm := opt.postmortem()
 	var prog *Progress
 	if opt.Hooks != nil {
 		prog = newProgress(opt.QueryLabel)
 		opt.Hooks.QueryStarted(prog)
 	}
+	qc.fr.Record(flight.EvQueryStart, qc.qid, qc.fr.Label(opt.QueryLabel), 0, 0, 0)
+	var stageName string
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking stage still ships its own investigation: dump
+			// the flight trail and whatever the query had produced, then
+			// let the panic continue to the caller.
+			qc.fr.Record(flight.EvPostmortem, qc.qid, qc.fr.Label("panic"), 0, 0, 0)
+			capturePostmortem(pm, "panic", qc, prog, map[string]any{
+				"panic": fmt.Sprint(r),
+				"stage": stageName,
+				"stack": string(debug.Stack()),
+			})
+			panic(r)
+		}
+	}()
 	var execErr error
 	for _, st := range stages {
 		start := time.Now()
-		prog.stageStarted(st.Name())
+		stageName = st.Name()
+		prog.stageStarted(stageName)
+		qc.fr.Record(flight.EvStageStart, qc.qid, qc.fr.Label(stageName), 0, 0, 0)
 		alignBefore, compareBefore := qc.Report.AlignTime, qc.Report.CompareTime
 		err := st.Run(qc)
 		wall := time.Since(start)
+		sim := (qc.Report.AlignTime - alignBefore) + (qc.Report.CompareTime - compareBefore)
 		qc.Report.Stages = append(qc.Report.Stages, StageTiming{
-			Stage:       st.Name(),
+			Stage:       stageName,
 			WallSeconds: wall.Seconds(),
-			SimSeconds:  (qc.Report.AlignTime - alignBefore) + (qc.Report.CompareTime - compareBefore),
+			SimSeconds:  sim,
 		})
+		qc.fr.Record(flight.EvStageFinish, qc.qid, qc.fr.Label(stageName), int64(wall), flight.F(sim), 0)
 		prog.stageFinished(wall)
 		if err != nil {
 			execErr = err
@@ -196,11 +231,99 @@ func Execute(qc *QueryContext, stages []Stage) error {
 			reg.Histogram("pipeline.modeled_seconds", obs.PowersOf2Buckets(1, 12)).Observe(qc.Report.AlignTime + qc.Report.CompareTime)
 		}
 	}
+	wall := time.Since(qc.wallStart)
+	if execErr != nil {
+		qc.fr.Record(flight.EvQueryError, qc.qid, qc.fr.Label(stageName), qc.fr.Label(execErr.Error()), 0, 0)
+		reason := "query-error"
+		switch {
+		case errors.Is(execErr, batch.ErrBudget):
+			reason = "strict-budget"
+		case strings.Contains(execErr.Error(), "StrictBounds"):
+			reason = "strict-bounds"
+		}
+		qc.fr.Record(flight.EvPostmortem, qc.qid, qc.fr.Label(reason), 0, 0, 0)
+		capturePostmortem(pm, reason, qc, prog, map[string]any{
+			"error": execErr.Error(),
+			"stage": stageName,
+		})
+	} else {
+		qc.fr.Record(flight.EvQueryFinish, qc.qid, qc.Report.Matches,
+			flight.F(qc.Report.AlignTime+qc.Report.CompareTime), int64(wall), 0)
+		if pm != nil && pm.SlowQuery > 0 && wall >= pm.SlowQuery {
+			qc.fr.Record(flight.EvPostmortem, qc.qid, qc.fr.Label("slow-query"), 0, 0, 0)
+			capturePostmortem(pm, "slow-query", qc, prog, map[string]any{
+				"wall":      wall.String(),
+				"threshold": pm.SlowQuery.String(),
+			})
+		}
+	}
 	if prog != nil {
 		prog.finish(execErr != nil)
 		opt.Hooks.QueryFinished(prog, qc.Report, execErr)
 	}
 	return execErr
+}
+
+// capturePostmortem assembles a bundle's evidence sections from the
+// query's current state and writes it through pm. Capture errors are
+// swallowed: a failing diagnostic dump must never mask the query's own
+// outcome (and the bundle cap makes over-capture routine, not
+// exceptional).
+func capturePostmortem(pm *flight.Postmortem, reason string, qc *QueryContext, prog *Progress, failure map[string]any) {
+	if pm == nil {
+		return
+	}
+	sections := []flight.Section{
+		{Name: "failure", Value: failure},
+		{Name: "report", Value: reportDigest(qc.Report)},
+	}
+	if qc.Report.Profile != nil {
+		sections = append(sections, flight.Section{Name: "profile", Value: qc.Report.Profile})
+	} else if prof := buildProfileSafe(qc); prof != nil {
+		sections = append(sections, flight.Section{Name: "profile", Value: prof})
+	}
+	if prog != nil {
+		sections = append(sections, flight.Section{Name: "progress", Value: prog.Snapshot()})
+	}
+	pm.Capture(reason, sections...)
+}
+
+// buildProfileSafe assembles the EXPLAIN ANALYZE profile for a bundle
+// even when the query died mid-pipeline, shielding the dump from
+// secondary panics over half-built stage products.
+func buildProfileSafe(qc *QueryContext) (p *Profile) {
+	defer func() { recover() }()
+	return buildProfile(qc)
+}
+
+// reportDigest is the bundle's report section: the Report minus its
+// materialized output array (which can be arbitrarily large and is not
+// diagnostic evidence).
+func reportDigest(rep *Report) map[string]any {
+	if rep == nil {
+		return nil
+	}
+	return map[string]any{
+		"plan_source":           rep.PlanSource,
+		"cache_outcome":         rep.CacheOutcome,
+		"selectivity":           rep.Selectivity,
+		"stages":                rep.Stages,
+		"plan_seconds":          rep.PlanTime,
+		"align_seconds":         rep.AlignTime,
+		"compare_seconds":       rep.CompareTime,
+		"total_seconds":         rep.Total,
+		"matches":               rep.Matches,
+		"cells_moved":           rep.CellsMoved,
+		"node_compare_seconds":  rep.NodeCompareTime,
+		"unit_cells":            rep.UnitCells,
+		"skew":                  rep.Skew,
+		"straggler_node":        rep.StragglerNode,
+		"lock_wait_seconds":     rep.LockWaitSeconds,
+		"peak_batch_bytes":      rep.PeakBatchBytes,
+		"memory_overflow_bytes": rep.MemoryOverflowBytes,
+		"clamped_cells":         rep.ClampedCells,
+		"wall":                  rep.WallTime.String(),
+	}
 }
 
 // Run executes τ = left ⋈ right over the cluster through the full

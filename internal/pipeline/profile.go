@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"shufflejoin/internal/flight"
 )
 
 // StageTiming is one pipeline stage's timing in Report.Stages and
@@ -119,9 +121,19 @@ type Profile struct {
 	// and the straggler node (-1 when no compare work exists).
 	Skew          float64 `json:"skew"`
 	StragglerNode int     `json:"straggler_node"`
+	// HotUnits lists join units whose cell count dominates the mean
+	// (flight.HotUnits over Report.UnitCells with the default
+	// thresholds). Deterministic, so it is covered by Fingerprint.
+	HotUnits []flight.HotUnit `json:"hot_units,omitempty"`
 
 	Shuffle ShuffleProfile `json:"shuffle"`
 	Nodes   []NodeProfile  `json:"nodes"`
+
+	// Anomalies is the online detector's annotations for this query
+	// (straggler/hot-receiver rising edges, hot units), attached by the
+	// observability hub after the fact. Cross-query EWMA state is
+	// history-dependent, so this field is EXCLUDED from Fingerprint.
+	Anomalies []string `json:"anomalies,omitempty"`
 }
 
 // buildProfile assembles the query's Profile from the finished
@@ -151,6 +163,7 @@ func buildProfile(qc *QueryContext) *Profile {
 		MemoryOverflowBytes: rep.MemoryOverflowBytes,
 		Skew:                rep.Skew,
 		StragglerNode:       rep.StragglerNode,
+		HotUnits:            flight.HotUnits(rep.UnitCells, 0, 0, 0),
 		Shuffle: ShuffleProfile{
 			Transfers:       len(rep.Align.Timeline),
 			CellsMoved:      rep.CellsMoved,
@@ -256,6 +269,16 @@ func (p *Profile) String() string {
 		}
 		b.WriteString("\n")
 	}
+	if len(p.HotUnits) > 0 {
+		b.WriteString("├─ hot units:")
+		for _, hu := range p.HotUnits {
+			fmt.Fprintf(&b, " unit %d (%d cells, %.1fx mean)", hu.Unit, hu.Cells, float64(hu.Cells)/hu.Mean)
+		}
+		b.WriteString("\n")
+	}
+	for _, a := range p.Anomalies {
+		fmt.Fprintf(&b, "├─ anomaly: %s\n", a)
+	}
 	if p.StragglerNode >= 0 {
 		fmt.Fprintf(&b, "├─ nodes (compare skew %.3f · straggler node %d)\n", p.Skew, p.StragglerNode)
 	} else {
@@ -302,6 +325,9 @@ func (p *Profile) Fingerprint() string {
 	}
 	fmt.Fprintf(&b, "makespan=%.17g matches=%d moved=%d clamped=%d skew=%.17g straggler=%d\n",
 		p.MakespanSeconds, p.Matches, p.CellsMoved, p.ClampedCells, p.Skew, p.StragglerNode)
+	for _, hu := range p.HotUnits {
+		fmt.Fprintf(&b, "hotunit %d cells=%d mean=%.17g\n", hu.Unit, hu.Cells, hu.Mean)
+	}
 	fmt.Fprintf(&b, "memory peak=%d interned=%d overflow=%d\n",
 		p.PeakBatchBytes, p.InternedStrings, p.MemoryOverflowBytes)
 	fmt.Fprintf(&b, "shuffle transfers=%d cells=%d lock_waits=%d skipped=%d lock_wait_s=%.17g makespan=%.17g\n",

@@ -8,6 +8,7 @@ import (
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/batch"
 	"shufflejoin/internal/cluster"
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/join"
 	"shufflejoin/internal/logical"
 	"shufflejoin/internal/obs"
@@ -35,6 +36,7 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 			// Hit: replay the stored logical plan; the physical stage
 			// revalidates the assignment against fresh slice statistics.
 			opt.Trace.Metrics().Counter("plancache.hit").Add(1)
+			qc.fr.Record(flight.EvPlanCache, qc.qid, qc.fr.Label("hit"), 0, 0, 0)
 			lp := e.Logical
 			qc.plan, qc.cached = &lp, e
 			qc.plans = []logical.Plan{lp}
@@ -45,6 +47,7 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 			return nil
 		}
 		opt.Trace.Metrics().Counter("plancache.miss").Add(1)
+		qc.fr.Record(flight.EvPlanCache, qc.qid, qc.fr.Label("miss"), 0, 0, 0)
 		qc.Report.CacheOutcome = "miss"
 	}
 	src, err := logical.ResolveSources(qc.Left.Array.Schema, qc.Right.Array.Schema, qc.Out, qc.Pred)
@@ -164,6 +167,9 @@ func (SliceMap) Run(qc *QueryContext) error {
 		qc.ssl, qc.ssr = ssl, ssr
 	} else {
 		qc.budget = batch.NewBudget(opt.MemoryBudget, opt.StrictMemory)
+		// Attach before the budget is shared with mapper workers so
+		// charge/credit events carry the query id from the first batch.
+		qc.budget.SetFlight(qc.fr, qc.qid)
 		cfg := shuffle.StreamConfig{
 			BatchRows: opt.BatchSize,
 			Intern:    batch.NewIntern(),
@@ -238,6 +244,7 @@ func (PhysicalPlan) Run(qc *QueryContext) error {
 		reg.Counter("plan.tabu.moves").Add(int64(pres.Search.TabuMoves))
 		reg.Counter("plan.tabu.whatifs").Add(pres.Search.TabuWhatIfs)
 	}
+	rep.UnitCells = append([]int64(nil), pr.UnitTotal...)
 	qc.prob = pr
 	qc.nodeUnits = make([][]int, c.K)
 	for u := 0; u < qc.spec.NumUnits; u++ {
@@ -276,6 +283,7 @@ func planAssignment(qc *QueryContext, pr *physical.Problem) (physical.Result, er
 		// the logical choice depends only on signature inputs.
 		opt.Cache.RecordReject(qc.sig)
 		opt.Trace.Metrics().Counter("plancache.revalidate_reject").Add(1)
+		qc.fr.Record(flight.EvPlanCache, qc.qid, qc.fr.Label("revalidate-reject"), 0, 0, 0)
 		rep.CacheOutcome = "revalidate-reject"
 		qc.cached = nil
 		rep.PlanSource = PlanSourceGreedy
@@ -373,6 +381,8 @@ func (Align) Run(qc *QueryContext) error {
 		Nodes:       c.K,
 		PerCellTime: opt.Params.Transfer,
 		Scheduling:  opt.Scheduling,
+		Flight:      qc.fr,
+		FlightQID:   qc.qid,
 	}
 	if !opt.Barrier {
 		qc.runner = newCompareRunner(qc)
@@ -460,6 +470,7 @@ func (Compare) Run(qc *QueryContext) error {
 	}
 	rep.Matches = rep.JoinStats.Matches
 	rep.Skew, rep.StragglerNode = skewOf(rep.NodeCompareTime)
+	qc.fr.Record(flight.EvCompareDone, qc.qid, int64(rep.StragglerNode), flight.F(rep.Skew), flight.F(rep.CompareTime), 0)
 
 	if tr.Enabled() {
 		align := rep.Align

@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"testing"
+
+	"shufflejoin/internal/flight"
+)
+
+// TestSimulateFlightEvents checks that a simulation leaves its telemetry
+// trail — an align-done event always, plus a hot-receiver event naming
+// the most lock-contended destination when senders stalled — and that
+// recording does not perturb the result.
+func TestSimulateFlightEvents(t *testing.T) {
+	// Two senders both target node 2: the second must wait on the write
+	// lock, producing lock-wait time attributed to node 2.
+	transfers := []Transfer{
+		{From: 0, To: 2, Cells: 100},
+		{From: 1, To: 2, Cells: 100},
+	}
+	cfg := Config{Nodes: 3, PerCellTime: 0.01}
+	base, err := Simulate(cfg, transfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LockWaitTime <= 0 {
+		t.Fatalf("fixture produced no lock contention: %+v", base)
+	}
+
+	fr := flight.New(32)
+	cfg.Flight, cfg.FlightQID = fr, 5
+	got, err := Simulate(cfg, transfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != base.Makespan || got.LockWaitTime != base.LockWaitTime {
+		t.Errorf("recording changed the result: %v vs %v", got.Makespan, base.Makespan)
+	}
+
+	evs := fr.Snapshot(0)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want align-done + hot-receiver", len(evs))
+	}
+	align, hot := evs[0], evs[1]
+	if align.Type != flight.EvAlignDone || align.QID != 5 {
+		t.Fatalf("first event = %+v", align)
+	}
+	if align.Args[0] != int64(len(got.Timeline)) || flight.Float(align.Args[1]) != got.Makespan {
+		t.Errorf("align-done args = %v", align.Args)
+	}
+	if hot.Type != flight.EvHotReceiver || hot.Args[0] != 2 {
+		t.Fatalf("hot-receiver event = %+v", hot)
+	}
+	if flight.Float(hot.Args[1]) != got.RecvLockWait[2] || hot.Args[2] != got.CellsRecv[2] {
+		t.Errorf("hot-receiver args = %v", hot.Args)
+	}
+}
+
+// TestSimulateNoContentionNoHotReceiver: distinct receivers, no lock
+// waits, so only the align-done event is recorded.
+func TestSimulateNoContentionNoHotReceiver(t *testing.T) {
+	fr := flight.New(32)
+	_, err := Simulate(Config{Nodes: 3, PerCellTime: 0.01, Flight: fr}, []Transfer{
+		{From: 0, To: 1, Cells: 10},
+		{From: 1, To: 2, Cells: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := fr.Snapshot(0)
+	if len(evs) != 1 || evs[0].Type != flight.EvAlignDone {
+		t.Fatalf("events = %+v, want a single align-done", evs)
+	}
+}

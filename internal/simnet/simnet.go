@@ -23,7 +23,11 @@
 // bit-for-bit equivalent by differential and fuzz tests.
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"shufflejoin/internal/flight"
+)
 
 // Transfer is one slice movement: Cells cells from node From to node To.
 // Tag carries caller context (e.g. a join unit id) through to the timeline.
@@ -67,6 +71,12 @@ type Config struct {
 	// without a global alignment barrier and without losing determinism.
 	// The callback must not mutate the transfers slice.
 	OnComplete func(Event)
+	// Flight, when non-nil, receives an align-done event (and a
+	// hot-receiver event when lock contention was observed) after each
+	// simulation, stamped with FlightQID. Pure telemetry: recording never
+	// alters the simulated timeline or the Result.
+	Flight    *flight.Recorder
+	FlightQID uint32
 }
 
 // Event records one completed transfer in the simulated timeline.

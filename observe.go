@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/obshttp"
 	"shufflejoin/internal/pipeline"
 )
@@ -35,6 +36,13 @@ type ObsConfig struct {
 	// SlowQuery marks log entries at or above the threshold as slow;
 	// zero disables slow marking.
 	SlowQuery time.Duration
+	// Flight is the flight recorder the hub dumps on /debug/flight and
+	// feeds into its anomaly detector; nil uses the process-wide default
+	// ring (the one queries record into unless overridden).
+	Flight *FlightRecorder
+	// Status annotates /debug/status with deployment identification
+	// (component name plus free-form details).
+	Status StatusInfo
 }
 
 // NewObsHub creates a telemetry hub backed by the database's cumulative
@@ -46,6 +54,8 @@ func (db *DB) NewObsHub(cfg ObsConfig) *ObsHub {
 		Registry:         db.metrics,
 		QueryLogCapacity: cfg.QueryLogCapacity,
 		SlowQuery:        cfg.SlowQuery,
+		Flight:           cfg.Flight,
+		Status:           cfg.Status,
 	})
 }
 
@@ -73,6 +83,88 @@ func WithQueryLog(hub *ObsHub) QueryOption {
 		c.hooks = hub
 		return nil
 	}
+}
+
+// FlightRecorder is the engine's always-on flight recorder: a lock-free
+// fixed-capacity ring of compact structured events (query lifecycle,
+// stage boundaries, plan-cache outcomes, memory-budget traffic, shuffle
+// congestion, anomalies) recorded from every layer of the engine at zero
+// allocations per event. Every query records into the process-wide
+// default ring unless WithFlightRecorder pins another one or
+// WithoutFlightRecorder opts out. Recording is telemetry only — it never
+// feeds back into planning or execution, and recorded runs are
+// bit-for-bit identical to unrecorded ones.
+type FlightRecorder = flight.Recorder
+
+// FlightStats is a recorder's capacity / recorded-event counters.
+type FlightStats = flight.Stats
+
+// Postmortem is a diagnostic-bundle sink: when a query panics, fails a
+// strict budget/bounds check, errors, or breaches the sink's SlowQuery
+// threshold, the engine writes a directory of evidence (recent flight
+// events, the query's profile and progress, a metrics snapshot,
+// goroutine stacks, a heap profile). Attach one per query with
+// WithPostmortem, process-wide with flight.SetDefaultPostmortem or the
+// SHUFFLEJOIN_POSTMORTEM_DIR environment variable, or capture a bundle
+// on demand with DB.Postmortem.
+type Postmortem = flight.Postmortem
+
+// StatusInfo is the deployment identification served on /debug/status.
+type StatusInfo = obshttp.StatusInfo
+
+// NewFlightRecorder creates a standalone flight recorder ring holding up
+// to capacity events (rounded up to a power of two; <= 0 uses the
+// default capacity). Use it to isolate one query's events from the
+// process-wide ring.
+func NewFlightRecorder(capacity int) *FlightRecorder { return flight.New(capacity) }
+
+// WithFlightRecorder records the query's flight events into fr instead
+// of the process-wide default ring.
+func WithFlightRecorder(fr *FlightRecorder) QueryOption {
+	return func(c *queryConfig) error {
+		if fr == nil {
+			return fmt.Errorf("shufflejoin: WithFlightRecorder needs a non-nil recorder (use NewFlightRecorder)")
+		}
+		c.flight = fr
+		return nil
+	}
+}
+
+// WithoutFlightRecorder disables flight recording for the query. The
+// recorder is otherwise always on; the knob exists for overhead
+// measurements and equivalence tests.
+func WithoutFlightRecorder() QueryOption {
+	return func(c *queryConfig) error {
+		c.flightOff = true
+		return nil
+	}
+}
+
+// WithPostmortem attaches a diagnostic-bundle sink to the query: a
+// panic, strict budget/bounds failure, query error, or (when
+// pm.SlowQuery is positive) slow-query breach during execution captures
+// a bundle into pm.Dir.
+func WithPostmortem(pm *Postmortem) QueryOption {
+	return func(c *queryConfig) error {
+		if pm == nil || pm.Dir == "" {
+			return fmt.Errorf("shufflejoin: WithPostmortem needs a sink with a directory")
+		}
+		c.postmortem = pm
+		return nil
+	}
+}
+
+// Postmortem captures an on-demand diagnostic bundle into dir — the
+// process-wide flight ring's recent events, the database's cumulative
+// metrics, goroutine stacks, and a heap profile — and returns the
+// bundle directory. Use it to snapshot a live engine that is
+// misbehaving without crashing.
+func (db *DB) Postmortem(dir string) (string, error) {
+	if dir == "" {
+		return "", fmt.Errorf("shufflejoin: Postmortem needs a directory")
+	}
+	pm := &flight.Postmortem{Dir: dir, Metrics: db.metrics.WritePrometheus}
+	return pm.Capture("on-demand")
 }
 
 // ExplainAnalyze executes the query with profiling enabled and returns

@@ -33,6 +33,7 @@ import (
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/cluster"
 	"shufflejoin/internal/exec"
+	"shufflejoin/internal/flight"
 	"shufflejoin/internal/logical"
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/par"
@@ -245,6 +246,9 @@ type queryConfig struct {
 	policy       *plancache.Policy
 	profile      bool
 	hooks        pipeline.QueryHooks
+	flight       *flight.Recorder
+	flightOff    bool
+	postmortem   *flight.Postmortem
 }
 
 // QueryOption customizes one Query call.
@@ -531,6 +535,9 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 		Profile:      cfg.profile,
 		Hooks:        cfg.hooks,
 		QueryLabel:   q,
+		Flight:       cfg.flight,
+		FlightOff:    cfg.flightOff,
+		Postmortem:   cfg.postmortem,
 	}
 	if cfg.policy != nil {
 		cfg.policy.Workers = par.Workers(cfg.parallelism)

@@ -48,17 +48,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"shufflejoin/internal/bench"
 	"shufflejoin/internal/flight"
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/obshttp"
+	"shufflejoin/internal/servebench"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10, planquality, beyond; beyond is opt-in and excluded from all)")
+		exp         = flag.String("exp", "all", "experiment to run (all, fig5, fig6, table1, table2, fig7, fig8, fig9, adversarial, fig10, planquality, beyond, serve; beyond and serve are opt-in and excluded from all)")
 		scale       = flag.String("scale", "full", "experiment scale: small or full")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		budget      = flag.Duration("budget", 0, "ILP solver time budget (default 2s full, 200ms small)")
@@ -67,8 +70,10 @@ func main() {
 		calibrate   = flag.Bool("calibrate", false, "measure the cost-model parameters m, b, p on this machine instead of using defaults")
 		traceFile   = flag.String("trace", "", "write the pipeline spans of every executed query as Chrome trace-event JSON to this file (load in Perfetto)")
 		metrics     = flag.Bool("metrics", false, "print the accumulated query metric registry as JSON")
-		jsonFile    = flag.String("json", "", "planquality: write the sweep rows and summary as JSON to this file")
-		gate        = flag.Bool("gate", false, "planquality: exit non-zero when the sweep violates the plan-quality acceptance criteria (greedy makespan ratio, cache-hit budget)")
+		jsonFile    = flag.String("json", "", "planquality/serve: write the experiment's rows (and summary) as JSON to this file")
+		gate        = flag.Bool("gate", false, "planquality/serve: exit non-zero when the run violates the experiment's acceptance criteria")
+		serveConc   = flag.String("serve-conc", "", "serve: comma-separated closed-loop concurrency levels (default 1,4,16)")
+		serveN      = flag.Int("serve-queries", 0, "serve: queries replayed per concurrency level (default 2000 full, 300 small)")
 		obsAddr     = flag.String("obs-addr", "", "serve live telemetry on this address (/metrics, /debug/queries, /debug/inflight, /debug/flight, /debug/anomalies, /debug/status); e.g. :8080 or :0")
 		slowMs      = flag.Float64("slow-ms", 0, "mark queries at or above this wall time (ms) as slow in /debug/queries (with -postmortem-dir, also the slow-query bundle threshold)")
 		obsHold     = flag.Duration("obs-hold", 0, "keep the telemetry endpoint up this long after the experiments finish")
@@ -269,6 +274,56 @@ func main() {
 		}
 		return nil
 	})
+	if *exp == "serve" { // opt-in only: not part of -exp all
+		scfg := servebench.Config{Seed: *seed, Queries: *serveN}
+		if *scale == "small" {
+			if scfg.Queries == 0 {
+				scfg.Queries = 300
+			}
+			scfg.InteractiveCells = 800
+			scfg.ScanCells = 6000
+		}
+		if *serveConc != "" {
+			for _, part := range strings.Split(*serveConc, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "serve: bad -serve-conc %q\n", *serveConc)
+					os.Exit(2)
+				}
+				scfg.Levels = append(scfg.Levels, n)
+			}
+		}
+		rows, err := servebench.Run(scfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		servebench.Render(os.Stdout, rows)
+		if *jsonFile != "" {
+			payload := struct {
+				Experiment string           `json:"experiment"`
+				Rows       []servebench.Row `json:"rows"`
+			}{"serve", rows}
+			data, err := json.MarshalIndent(payload, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonFile, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("serve JSON written to %s\n\n", *jsonFile)
+		}
+		if *gate {
+			if err := servebench.Gate(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("serve gate passed: 4-way throughput criterion met (%.0fx serial on >= 4 CPUs), interactive p99 within %.0fx serial (floor %.0fms)\n\n",
+				servebench.SpeedupMin, servebench.P99FactorLimit, servebench.P99FloorMs)
+		}
+	}
 	if *exp == "beyond" { // opt-in only: not part of -exp all
 		bcfg := cfg
 		if *scale == "full" {

@@ -30,6 +30,9 @@ const (
 	EvCompareDone         // i:straggler_node f:skew f:compare_seconds
 	EvAnomaly             // l:kind i:node f:value f:baseline
 	EvPostmortem          // l:reason
+	EvSchedQueue          // l:class i:depth i:mem_used
+	EvSchedAdmit          // l:class i:wait_ns i:inflight
+	EvSchedReject         // l:class i:wait_ns l:reason
 )
 
 // argKind types one event argument for decoding.
@@ -79,6 +82,9 @@ var schemas = [...]eventSchema{
 	EvCompareDone:    {name: "compare-done", args: args("straggler_node", argInt, "skew", argFloat, "compare_seconds", argFloat)},
 	EvAnomaly:        {name: "anomaly", args: args("kind", argLabel, "node", argInt, "value", argFloat, "baseline", argFloat)},
 	EvPostmortem:     {name: "postmortem", args: args("reason", argLabel)},
+	EvSchedQueue:     {name: "sched-queue", args: args("class", argLabel, "depth", argInt, "mem_used", argInt)},
+	EvSchedAdmit:     {name: "sched-admit", args: args("class", argLabel, "wait_ns", argInt, "inflight", argInt)},
+	EvSchedReject:    {name: "sched-reject", args: args("class", argLabel, "wait_ns", argInt, "reason", argLabel)},
 }
 
 // String returns the event type's wire name (e.g. "budget-charge").

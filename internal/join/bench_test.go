@@ -64,3 +64,25 @@ func BenchmarkSortTuples(b *testing.B) {
 		SortTuples(buf)
 	}
 }
+
+// BenchmarkScratchPoolsConcurrent is the pool-sharding gate for this
+// package: the tuple-slice and hash-index scratch pools must hold
+// steady-state 0 allocs/op with 16 concurrent compare workers — the
+// multi-query serving shape — now that both are process-shared sharded
+// pools instead of sync.Pools.
+func BenchmarkScratchPoolsConcurrent(b *testing.B) {
+	src := benchTuples(512, false, 9)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ts := GetTuples()
+			ts = append(ts, src...)
+			idx := getHashIndex(len(ts))
+			for i := range ts {
+				idx.insert(i, uint64(i)*0x9e3779b97f4a7c15)
+			}
+			putHashIndex(idx)
+			PutTuples(ts)
+		}
+	})
+}

@@ -10,7 +10,8 @@ package join
 
 import (
 	"fmt"
-	"sync"
+
+	"shufflejoin/internal/par"
 )
 
 // TupleStream is a pull-based source of one join unit's tuples for one
@@ -200,11 +201,18 @@ type hashIndex struct {
 	hashes []uint64
 }
 
-var hashIndexPool = sync.Pool{New: func() any { return new(hashIndex) }}
+// hashIndexPool is sharded (par.Pool) rather than a sync.Pool: under
+// 16-way concurrent serving every query's every unit hits this pool, and
+// sync.Pool both drains under GC pressure (re-paying the index's slab
+// allocations) and funnels through per-P locking on the slow path.
+var hashIndexPool = par.NewPool[*hashIndex](64)
 
 // getHashIndex returns a cleared index sized for n build tuples.
 func getHashIndex(n int) *hashIndex {
-	idx := hashIndexPool.Get().(*hashIndex)
+	idx, ok := hashIndexPool.Get()
+	if !ok {
+		idx = new(hashIndex)
+	}
 	size := 8
 	for size < n {
 		size <<= 1
@@ -242,17 +250,22 @@ func (ix *hashIndex) first(h uint64) int32 { return ix.slots[h&ix.mask] }
 // tuplePool recycles []Tuple scratch buffers for the compare hot path:
 // unit assembly and pre-merge sorts previously allocated a fresh slice
 // per join unit. Only the backing array is reused — tuple contents are
-// fully overwritten by the next user.
-var tuplePool = sync.Pool{New: func() any { s := make([]Tuple, 0, 256); return &s }}
+// fully overwritten by the next user. The typed par.Pool stores the
+// slice header by value, so Put does not box it into an interface (an
+// allocation per call under sync.Pool), and the retained buffers
+// survive GC cycles between queries.
+var tuplePool = par.NewPool[[]Tuple](64)
 
 // GetTuples returns an empty pooled tuple slice to append into.
 func GetTuples() []Tuple {
-	return (*(tuplePool.Get().(*[]Tuple)))[:0]
+	if ts, ok := tuplePool.Get(); ok {
+		return ts[:0]
+	}
+	return make([]Tuple, 0, 256)
 }
 
 // PutTuples recycles a slice obtained from GetTuples (or any scratch
 // slice whose contents are dead). The caller must not use ts afterward.
 func PutTuples(ts []Tuple) {
-	ts = ts[:0]
-	tuplePool.Put(&ts)
+	tuplePool.Put(ts[:0])
 }

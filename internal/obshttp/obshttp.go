@@ -39,6 +39,7 @@ import (
 	"shufflejoin/internal/flight"
 	"shufflejoin/internal/obs"
 	"shufflejoin/internal/pipeline"
+	"shufflejoin/internal/sched"
 )
 
 // StatusInfo identifies the process on /debug/status.
@@ -72,6 +73,10 @@ type Config struct {
 	Detector flight.DetectorConfig
 	// Status identifies the process on /debug/status.
 	Status StatusInfo
+	// Sched, when non-nil, annotates /debug/inflight and /debug/status
+	// with the query scheduler's admission state (queue depths per class,
+	// memory-pool usage, free stage slots).
+	Sched *sched.Scheduler
 }
 
 // Hub collects live telemetry and serves it over HTTP. Create with
@@ -390,9 +395,15 @@ func (h *Hub) handleInflight(w http.ResponseWriter, _ *http.Request) {
 	}
 	h.mu.Unlock()
 	sort.Slice(running, func(i, j int) bool { return running[i].ID < running[j].ID })
-	writeJSON(w, struct {
-		Running []inflightEntry `json:"running"`
-	}{running})
+	payload := struct {
+		Running   []inflightEntry `json:"running"`
+		Scheduler *sched.Snapshot `json:"scheduler,omitempty"`
+	}{Running: running}
+	if h.cfg.Sched != nil {
+		snap := h.cfg.Sched.Snapshot()
+		payload.Scheduler = &snap
+	}
+	writeJSON(w, payload)
 }
 
 // handleFlight serves the flight recorder's recent events, decoded.
@@ -415,20 +426,21 @@ func (h *Hub) handleAnomalies(w http.ResponseWriter, _ *http.Request) {
 // statusPayload is the /debug/status response shape.
 type statusPayload struct {
 	StatusInfo
-	GoVersion     string       `json:"go_version"`
-	GoOSArch      string       `json:"go_os_arch"`
-	Module        string       `json:"module,omitempty"`
-	VCSRevision   string       `json:"vcs_revision,omitempty"`
-	GOMAXPROCS    int          `json:"gomaxprocs"`
-	Goroutines    int          `json:"goroutines"`
-	Start         time.Time    `json:"start"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	SlowMs        float64      `json:"slow_threshold_ms"`
-	LogCapacity   int          `json:"query_log_capacity"`
-	QueriesTotal  uint64       `json:"queries_total"`
-	QueriesSlow   uint64       `json:"queries_slow"`
-	Inflight      int          `json:"inflight"`
-	Flight        flight.Stats `json:"flight"`
+	GoVersion     string          `json:"go_version"`
+	GoOSArch      string          `json:"go_os_arch"`
+	Module        string          `json:"module,omitempty"`
+	VCSRevision   string          `json:"vcs_revision,omitempty"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	Goroutines    int             `json:"goroutines"`
+	Start         time.Time       `json:"start"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	SlowMs        float64         `json:"slow_threshold_ms"`
+	LogCapacity   int             `json:"query_log_capacity"`
+	QueriesTotal  uint64          `json:"queries_total"`
+	QueriesSlow   uint64          `json:"queries_slow"`
+	Inflight      int             `json:"inflight"`
+	Flight        flight.Stats    `json:"flight"`
+	Scheduler     *sched.Snapshot `json:"scheduler,omitempty"`
 }
 
 func (h *Hub) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -449,6 +461,10 @@ func (h *Hub) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		QueriesSlow:   h.log.Slow(),
 		Inflight:      inflight,
 		Flight:        h.rec.Stats(),
+	}
+	if h.cfg.Sched != nil {
+		snap := h.cfg.Sched.Snapshot()
+		p.Scheduler = &snap
 	}
 	if bi, ok := rtdebug.ReadBuildInfo(); ok {
 		p.Module = bi.Main.Path

@@ -1,0 +1,66 @@
+package obshttp_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/obshttp"
+	"shufflejoin/internal/sched"
+)
+
+// TestSchedulerOnInflight pins that a hub configured with a scheduler
+// serves its admission state on /debug/inflight and /debug/status, and
+// that a hub without one omits the section.
+func TestSchedulerOnInflight(t *testing.T) {
+	s := sched.New(sched.Config{MaxQueries: 3, PoolBytes: 1 << 20})
+	tk, err := s.Admit(context.Background(), sched.Scan, 0, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Done()
+
+	hub := obshttp.NewHub(obshttp.Config{Registry: obs.NewRegistry(), Sched: s})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	var p struct {
+		Scheduler *sched.Snapshot `json:"scheduler"`
+	}
+	_, body, _ := get(t, srv, "/debug/inflight")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("inflight payload: %v", err)
+	}
+	if p.Scheduler == nil {
+		t.Fatal("no scheduler section on /debug/inflight")
+	}
+	if p.Scheduler.Inflight != 1 || p.Scheduler.MaxQueries != 3 {
+		t.Errorf("scheduler snapshot = %+v, want inflight 1 of 3", p.Scheduler)
+	}
+	if p.Scheduler.Scan.Admitted != 1 || p.Scheduler.MemReservedBytes == 0 {
+		t.Errorf("scan admissions/memory not reflected: %+v", p.Scheduler)
+	}
+
+	p.Scheduler = nil
+	_, body, _ = get(t, srv, "/debug/status")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("status payload: %v", err)
+	}
+	if p.Scheduler == nil || p.Scheduler.Inflight != 1 {
+		t.Errorf("status scheduler = %+v, want inflight 1", p.Scheduler)
+	}
+
+	bare := obshttp.NewHub(obshttp.Config{Registry: obs.NewRegistry()})
+	srv2 := httptest.NewServer(bare.Handler())
+	defer srv2.Close()
+	_, body, _ = get(t, srv2, "/debug/inflight")
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		t.Fatalf("bare inflight payload: %v", err)
+	}
+	if _, present := raw["scheduler"]; present {
+		t.Error("scheduler section present on a hub without one")
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -141,6 +142,39 @@ type Options struct {
 	// itself nil unless SHUFFLEJOIN_POSTMORTEM_DIR is set or a default
 	// was installed — so postmortems are off unless configured.
 	Postmortem *flight.Postmortem
+	// Ctx, when non-nil, threads cancellation and deadlines through the
+	// query: Execute checks it between stages, and the compare runner
+	// checks it per join-unit dispatch, so a canceled query stops within
+	// one stage/unit boundary and its error reports context.Canceled or
+	// context.DeadlineExceeded (wrapped, errors.Is-matchable). Nil means
+	// context.Background() — no cancellation.
+	Ctx context.Context
+	// Gate, when non-nil, is the query's handle on scheduler-shared
+	// stage resources: the Align stage borrows its simnet.Sim from the
+	// gate's capped pool instead of the process sync.Pool, and the
+	// Compare machinery holds a compare slot for the duration of
+	// comparison work. Gating changes only when stages run, never what
+	// they compute — outputs, modeled times, and profile fingerprints
+	// are bit-identical with and without a gate. A sched.Ticket
+	// satisfies this interface.
+	Gate Gate
+}
+
+// Gate meters a query's access to scheduler-shared stage resources.
+// Implementations must be safe for concurrent use; sched.Ticket is the
+// canonical one. All methods may block until a resource frees or ctx
+// is done.
+type Gate interface {
+	// AcquireSim borrows a reusable shuffle simulator from the shared
+	// capped pool for the Align stage.
+	AcquireSim(ctx context.Context) (*simnet.Sim, error)
+	// ReleaseSim returns a borrowed simulator.
+	ReleaseSim(*simnet.Sim)
+	// AcquireCompare takes a compare-work slot; the pipeline holds it
+	// from compare dispatch until the Compare stage folds its results.
+	AcquireCompare(ctx context.Context) error
+	// ReleaseCompare returns a compare-work slot.
+	ReleaseCompare()
 }
 
 // flightRecorder resolves the query's flight recorder: FlightOff wins,
@@ -161,6 +195,14 @@ func (o *Options) postmortem() *flight.Postmortem {
 		return o.Postmortem
 	}
 	return flight.DefaultPostmortem()
+}
+
+// ctx resolves the query's context (Background when none was supplied).
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // workers resolves the Parallelism knob to an effective worker count.
@@ -243,9 +285,11 @@ type Report struct {
 	// otherwise (PhysicalPlan stage).
 	PlanRegret float64
 	// CacheOutcome records the plan cache's verdict for this query:
-	// "hit", "miss", or "revalidate-reject" (a signature hit whose stored
-	// assignment failed revalidation against fresh statistics). Empty
-	// when no cache was attached (LogicalPlan/PhysicalPlan stages).
+	// "hit", "suppressed" (a hit obtained by waiting on a concurrent
+	// planner for the same signature — the singleflight path), "miss",
+	// or "revalidate-reject" (a signature hit whose stored assignment
+	// failed revalidation against fresh statistics). Empty when no
+	// cache was attached (LogicalPlan/PhysicalPlan stages).
 	CacheOutcome string
 
 	// Stages is the per-stage timing log, in execution order: wall

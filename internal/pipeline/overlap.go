@@ -123,6 +123,13 @@ func (cr *compareRunner) wait() {
 func (cr *compareRunner) runUnit(u int) {
 	qc := cr.qc
 	res := &cr.results[u]
+	// Per-unit cancellation point: a canceled query skips its remaining
+	// units (fold surfaces the context error from the first skipped
+	// slot) instead of comparing to completion.
+	if err := qc.ctx.Err(); err != nil {
+		res.err = err
+		return
+	}
 	dest := qc.Report.Physical.Assignment[u]
 	uproj := qc.proj.forUnit()
 	emit := func(l, r *join.Tuple) {
@@ -215,6 +222,11 @@ func runBarrier(qc *QueryContext) []nodeOut {
 			no.cells = append(no.cells, array.StoredCell{Coords: coords, Attrs: attrs})
 		}
 		for _, u := range qc.nodeUnits[node] {
+			// Mirror the overlapped path's per-unit cancellation point.
+			if err := qc.ctx.Err(); err != nil {
+				no.err = err
+				return
+			}
 			var st join.Stats
 			var err error
 			var nl, nr int

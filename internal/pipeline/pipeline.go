@@ -38,6 +38,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -87,7 +88,8 @@ type QueryContext struct {
 	Report      *Report
 
 	wallStart   time.Time
-	explainOnly bool // LogicalPlan stage: enumerate but do not select
+	explainOnly bool            // LogicalPlan stage: enumerate but do not select
+	ctx         context.Context // resolved Opt.Ctx; checked between stages and per unit
 
 	// Flight-recorder attachment (Execute; nil when recording is off).
 	// Events are telemetry only: stages record decisions into fr but
@@ -97,8 +99,12 @@ type QueryContext struct {
 	qid uint32
 
 	// Plan-cache state (LogicalPlan stage, only when Opt.Cache is set).
-	sig    plancache.Signature // this query's cache signature
-	cached *plancache.Entry    // hit awaiting revalidation in PhysicalPlan
+	sig      plancache.Signature // this query's cache signature
+	cached   *plancache.Entry    // hit awaiting revalidation in PhysicalPlan
+	planning *plancache.Planning // singleflight token; Finished after Store or on error
+
+	// Gate state (Align/Compare stages, only when Opt.Gate is set).
+	compareSlot bool // holding the gate's compare slot
 
 	// Stage products, in the order they are produced.
 	plans     []logical.Plan    // LogicalPlan: every valid plan, cheapest first
@@ -157,6 +163,16 @@ func NewQueryContext(c *cluster.Cluster, dl, dr *cluster.Distributed, pred join.
 		Opt:       &o,
 		Report:    &Report{},
 		wallStart: time.Now(),
+		ctx:       o.ctx(),
+	}
+}
+
+// releaseCompareSlot returns the gate's compare slot if this query holds
+// one; safe to call repeatedly.
+func (qc *QueryContext) releaseCompareSlot() {
+	if qc.compareSlot {
+		qc.compareSlot = false
+		qc.Opt.Gate.ReleaseCompare()
 	}
 }
 
@@ -195,6 +211,12 @@ func Execute(qc *QueryContext, stages []Stage) error {
 	}()
 	var execErr error
 	for _, st := range stages {
+		// Honor cancellation at every stage boundary (including before
+		// the first stage, so a pre-canceled query never plans).
+		if err := qc.ctx.Err(); err != nil {
+			execErr = err
+			break
+		}
 		start := time.Now()
 		stageName = st.Name()
 		prog.stageStarted(stageName)
@@ -215,6 +237,14 @@ func Execute(qc *QueryContext, stages []Stage) error {
 			break
 		}
 	}
+	// Error exits can leave gate or singleflight state held mid-stage;
+	// release both so neither a compare slot nor concurrent planners for
+	// this signature stay blocked. Both are no-ops on the success path
+	// (stages release the slot and Finish after Store themselves).
+	if opt.Gate != nil {
+		qc.releaseCompareSlot()
+	}
+	qc.planning.Finish()
 	if execErr == nil && (opt.Profile || opt.Hooks != nil) {
 		qc.Report.Profile = buildProfile(qc)
 	}
@@ -234,18 +264,23 @@ func Execute(qc *QueryContext, stages []Stage) error {
 	wall := time.Since(qc.wallStart)
 	if execErr != nil {
 		qc.fr.Record(flight.EvQueryError, qc.qid, qc.fr.Label(stageName), qc.fr.Label(execErr.Error()), 0, 0)
-		reason := "query-error"
-		switch {
-		case errors.Is(execErr, batch.ErrBudget):
-			reason = "strict-budget"
-		case strings.Contains(execErr.Error(), "StrictBounds"):
-			reason = "strict-bounds"
+		canceled := errors.Is(execErr, context.Canceled) || errors.Is(execErr, context.DeadlineExceeded)
+		if !canceled {
+			// Cancellation and timeouts are the caller's decision, not an
+			// engine failure — no diagnostic bundle for those.
+			reason := "query-error"
+			switch {
+			case errors.Is(execErr, batch.ErrBudget):
+				reason = "strict-budget"
+			case strings.Contains(execErr.Error(), "StrictBounds"):
+				reason = "strict-bounds"
+			}
+			qc.fr.Record(flight.EvPostmortem, qc.qid, qc.fr.Label(reason), 0, 0, 0)
+			capturePostmortem(pm, reason, qc, prog, map[string]any{
+				"error": execErr.Error(),
+				"stage": stageName,
+			})
 		}
-		qc.fr.Record(flight.EvPostmortem, qc.qid, qc.fr.Label(reason), 0, 0, 0)
-		capturePostmortem(pm, reason, qc, prog, map[string]any{
-			"error": execErr.Error(),
-			"stage": stageName,
-		})
 	} else {
 		qc.fr.Record(flight.EvQueryFinish, qc.qid, qc.Report.Matches,
 			flight.F(qc.Report.AlignTime+qc.Report.CompareTime), int64(wall), 0)

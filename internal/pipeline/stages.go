@@ -32,18 +32,31 @@ func (LogicalPlan) Run(qc *QueryContext) error {
 	opt.normalize()
 	if opt.Cache != nil && !qc.explainOnly {
 		qc.sig = planSignature(qc)
-		if e, ok := opt.Cache.Lookup(qc.sig); ok {
-			// Hit: replay the stored logical plan; the physical stage
-			// revalidates the assignment against fresh slice statistics.
+		// Singleflight lookup: concurrent misses on the same signature
+		// wait for the first query's plan instead of all planning. On a
+		// miss the returned Planning token is retired after Store (or by
+		// Execute's cleanup if the query dies first) so waiters wake.
+		e, outcome, planning, err := opt.Cache.BeginLookup(qc.ctx, qc.sig)
+		if err != nil {
+			return err
+		}
+		qc.planning = planning
+		if e != nil {
+			// Hit (direct or suppressed): replay the stored logical plan;
+			// the physical stage revalidates the assignment against fresh
+			// slice statistics.
 			opt.Trace.Metrics().Counter("plancache.hit").Add(1)
-			qc.fr.Record(flight.EvPlanCache, qc.qid, qc.fr.Label("hit"), 0, 0, 0)
+			if outcome == "suppressed" {
+				opt.Trace.Metrics().Counter("plancache.suppressed").Add(1)
+			}
+			qc.fr.Record(flight.EvPlanCache, qc.qid, qc.fr.Label(outcome), 0, 0, 0)
 			lp := e.Logical
 			qc.plan, qc.cached = &lp, e
 			qc.plans = []logical.Plan{lp}
 			qc.Report.Logical = lp
 			qc.Report.Selectivity = e.Selectivity
 			qc.Report.PlanSource = PlanSourceCached
-			qc.Report.CacheOutcome = "hit"
+			qc.Report.CacheOutcome = outcome
 			return nil
 		}
 		opt.Trace.Metrics().Counter("plancache.miss").Add(1)
@@ -320,6 +333,9 @@ func planAssignment(qc *QueryContext, pr *physical.Problem) (physical.Result, er
 			Model:       pres.Model,
 			Source:      rep.PlanSource,
 		})
+		// The entry is visible; wake singleflight waiters now so their
+		// suppressed hits overlap this query's remaining stages.
+		qc.planning.Finish()
 	}
 	return pres, nil
 }
@@ -341,6 +357,25 @@ func (Align) Name() string { return "align" }
 // only steady-state allocation left in this stage is the Result clone the
 // Report retains.
 var simPool = sync.Pool{New: func() any { return new(simnet.Sim) }}
+
+// acquireSim borrows the Align stage's simulator: from the query's gate
+// (the scheduler's capped shared pool, which may block until an
+// instance frees) or, ungated, from the process-wide simPool.
+func (qc *QueryContext) acquireSim() (*simnet.Sim, error) {
+	if g := qc.Opt.Gate; g != nil {
+		return g.AcquireSim(qc.ctx)
+	}
+	return simPool.Get().(*simnet.Sim), nil
+}
+
+// releaseSim returns a simulator to wherever acquireSim got it.
+func (qc *QueryContext) releaseSim(sim *simnet.Sim) {
+	if g := qc.Opt.Gate; g != nil {
+		g.ReleaseSim(sim)
+		return
+	}
+	simPool.Put(sim)
+}
 
 func (Align) Run(qc *QueryContext) error {
 	c, opt := qc.Cluster, qc.Opt
@@ -385,13 +420,28 @@ func (Align) Run(qc *QueryContext) error {
 		FlightQID:   qc.qid,
 	}
 	if !opt.Barrier {
+		// The compare slot must be held before the runner exists: the
+		// constructor dispatches local-only units immediately.
+		if g := opt.Gate; g != nil {
+			if err := g.AcquireCompare(qc.ctx); err != nil {
+				return err
+			}
+			qc.compareSlot = true
+		}
 		qc.runner = newCompareRunner(qc)
 		cfg.OnComplete = qc.runner.landed
 	}
-	sim := simPool.Get().(*simnet.Sim)
+	sim, err := qc.acquireSim()
+	if err != nil {
+		if qc.runner != nil {
+			qc.runner.wait()
+			qc.runner = nil
+		}
+		return err
+	}
 	align, err := sim.Simulate(cfg, qc.transfers)
 	if err != nil {
-		simPool.Put(sim)
+		qc.releaseSim(sim)
 		if qc.runner != nil {
 			qc.runner.wait()
 			qc.runner = nil
@@ -401,7 +451,7 @@ func (Align) Run(qc *QueryContext) error {
 	// The Result aliases the pooled instance's buffers and the Report
 	// outlives this query, so detach it before releasing the simulator.
 	align = align.Clone()
-	simPool.Put(sim)
+	qc.releaseSim(sim)
 	rep.Align = align
 	rep.AlignTime = align.Makespan
 	rep.LockWaitSeconds = align.LockWaitTime
@@ -453,8 +503,17 @@ func (Compare) Run(qc *QueryContext) error {
 		qc.runner.wait()
 		qc.nodes = qc.runner.fold()
 	} else {
+		if g := opt.Gate; g != nil {
+			if err := g.AcquireCompare(qc.ctx); err != nil {
+				return err
+			}
+			qc.compareSlot = true
+		}
 		qc.nodes = runBarrier(qc)
 	}
+	// Comparison work is over; free the gate's compare slot before the
+	// (possibly long) merge and assemble tail.
+	qc.releaseCompareSlot()
 
 	rep.NodeCompareTime = make([]float64, k)
 	for node := 0; node < k; node++ {

@@ -24,6 +24,7 @@
 package plancache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -54,9 +55,10 @@ type Entry struct {
 // Stats are the cache's monotone counters, mirrored into internal/obs by
 // the pipeline integration.
 type Stats struct {
-	Hits    int64 // signature present
-	Misses  int64 // signature absent
-	Rejects int64 // hit whose revalidation failed (drift past threshold)
+	Hits       int64 // signature present
+	Misses     int64 // signature absent
+	Rejects    int64 // hit whose revalidation failed (drift past threshold)
+	Suppressed int64 // duplicate planning runs avoided by singleflight waits
 }
 
 // Cache is a concurrency-safe plan cache. The zero value is not usable;
@@ -64,14 +66,24 @@ type Stats struct {
 // always-miss cache, so callers can thread an optional cache without
 // branching.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[Signature]*Entry
-	stats   Stats
+	mu       sync.Mutex
+	entries  map[Signature]*Entry
+	inflight map[Signature]*planCall
+	stats    Stats
+}
+
+// planCall is one in-progress planning run other queries with the same
+// signature wait on instead of planning themselves.
+type planCall struct {
+	done chan struct{}
 }
 
 // New returns an empty plan cache.
 func New() *Cache {
-	return &Cache{entries: make(map[Signature]*Entry)}
+	return &Cache{
+		entries:  make(map[Signature]*Entry),
+		inflight: make(map[Signature]*planCall),
+	}
 }
 
 // Lookup returns the entry stored under sig, counting a hit or a miss.
@@ -89,6 +101,83 @@ func (c *Cache) Lookup(sig Signature) (*Entry, bool) {
 		c.stats.Misses++
 	}
 	return e, ok
+}
+
+// Planning is a singleflight token held by the one query planning a
+// signature. Finish must be called exactly once when the plan has been
+// Stored (or planning failed/was abandoned); it is idempotent and
+// nil-safe, so callers may defer it unconditionally.
+type Planning struct {
+	c    *Cache
+	sig  Signature
+	call *planCall
+	once sync.Once
+}
+
+// Finish ends the planning run: the signature's waiters wake and
+// re-check the cache. If the planner Stored its entry first, they all
+// hit; if it errored out, one waiter claims a fresh Planning token and
+// becomes the new planner.
+func (p *Planning) Finish() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		p.c.mu.Lock()
+		if p.c.inflight[p.sig] == p.call {
+			delete(p.c.inflight, p.sig)
+		}
+		p.c.mu.Unlock()
+		close(p.call.done)
+	})
+}
+
+// BeginLookup is Lookup with singleflight duplicate suppression for
+// concurrent misses: K queries missing on the same signature plan once
+// and share the entry, instead of all K planning and racing to Store.
+//
+// The outcome string is "hit" (entry present), "suppressed" (entry
+// present, obtained by waiting on a concurrent planner — counted in
+// Stats.Suppressed), or "miss" (this query must plan; the returned
+// Planning token is non-nil and must be Finished after Store, or on
+// error, so waiters wake). ctx bounds the wait; on cancellation the
+// error is returned with no entry and no token.
+func (c *Cache) BeginLookup(ctx context.Context, sig Signature) (*Entry, string, *Planning, error) {
+	if c == nil {
+		return nil, "miss", nil, nil
+	}
+	waited := false
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[sig]; ok {
+			c.stats.Hits++
+			outcome := "hit"
+			if waited {
+				c.stats.Suppressed++
+				outcome = "suppressed"
+			}
+			c.mu.Unlock()
+			return e, outcome, nil, nil
+		}
+		call, ok := c.inflight[sig]
+		if !ok {
+			call = &planCall{done: make(chan struct{})}
+			if c.inflight == nil {
+				c.inflight = make(map[Signature]*planCall)
+			}
+			c.inflight[sig] = call
+			c.stats.Misses++
+			c.mu.Unlock()
+			return nil, "miss", &Planning{c: c, sig: sig, call: call}, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			waited = true
+		case <-ctx.Done():
+			return nil, "", nil, ctx.Err()
+		}
+	}
 }
 
 // Store records a planning outcome under sig, replacing any prior entry.

@@ -1,0 +1,157 @@
+package plancache
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBeginLookupSingleflight pins the duplicate-suppression contract
+// with controlled timing: one planner, K-1 waiters that block until the
+// planner Stores + Finishes, all sharing the entry as suppressed hits.
+func TestBeginLookupSingleflight(t *testing.T) {
+	c := New()
+	ctx := context.Background()
+
+	e, outcome, planning, err := c.BeginLookup(ctx, "sig")
+	if err != nil || e != nil || outcome != "miss" || planning == nil {
+		t.Fatalf("first BeginLookup = %v, %q, %v, %v", e, outcome, planning, err)
+	}
+
+	const waiters = 4
+	type result struct {
+		e       *Entry
+		outcome string
+		err     error
+	}
+	results := make([]result, waiters)
+	var started, wg sync.WaitGroup
+	started.Add(waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			e, o, p, err := c.BeginLookup(ctx, "sig")
+			if p != nil {
+				p.Finish()
+				t.Error("waiter received a planning token")
+			}
+			results[i] = result{e, o, err}
+		}(i)
+	}
+	started.Wait()
+	// All waiters are at (or heading into) the inflight wait; nothing
+	// can give them an entry until the planner stores one.
+	time.Sleep(10 * time.Millisecond)
+
+	want := &Entry{Source: "full"}
+	c.Store("sig", want)
+	planning.Finish()
+	planning.Finish() // idempotent
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("waiter %d: %v", i, r.err)
+		}
+		if r.e != want {
+			t.Fatalf("waiter %d got entry %p, want shared %p", i, r.e, want)
+		}
+		if r.outcome != "suppressed" {
+			t.Fatalf("waiter %d outcome = %q, want suppressed", i, r.outcome)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != waiters || st.Suppressed != waiters {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits / %d suppressed", st, waiters, waiters)
+	}
+}
+
+// TestBeginLookupPlannerFailure pins the abandoned-planning path: when
+// the planner Finishes without Storing, exactly one waiter becomes the
+// new planner and the rest keep waiting on it.
+func TestBeginLookupPlannerFailure(t *testing.T) {
+	c := New()
+	ctx := context.Background()
+	_, _, planning, err := c.BeginLookup(ctx, "sig")
+	if err != nil || planning == nil {
+		t.Fatalf("first BeginLookup: %v, %v", planning, err)
+	}
+
+	const waiters = 3
+	tokens := make(chan *Planning, waiters)
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			e, _, p, err := c.BeginLookup(ctx, "sig")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if p != nil {
+				// This waiter was promoted to planner.
+				tokens <- p
+				return
+			}
+			if e == nil {
+				t.Error("waiter resolved with neither entry nor token")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	planning.Finish() // planner died without storing
+
+	// Exactly one waiter is promoted; it plans and stores, releasing
+	// the others as hits.
+	p := <-tokens
+	c.Store("sig", &Entry{Source: "greedy"})
+	p.Finish()
+	wg.Wait()
+	if len(tokens) != 0 {
+		t.Fatalf("%d extra waiters promoted to planner", len(tokens))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len = %d, want 1", c.Len())
+	}
+}
+
+// TestBeginLookupContextCancel pins that a waiting BeginLookup honors
+// cancellation without corrupting the inflight table.
+func TestBeginLookupContextCancel(t *testing.T) {
+	c := New()
+	_, _, planning, err := c.BeginLookup(context.Background(), "sig")
+	if err != nil || planning == nil {
+		t.Fatal("first lookup should miss with a token")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.BeginLookup(ctx, "sig")
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The original planner is unaffected.
+	c.Store("sig", &Entry{})
+	planning.Finish()
+	if e, outcome, p, err := c.BeginLookup(context.Background(), "sig"); e == nil || outcome != "hit" || p != nil || err != nil {
+		t.Fatalf("post-cancel lookup = %v, %q, %v, %v", e, outcome, p, err)
+	}
+}
+
+// TestBeginLookupNilCache pins the nil-cache tolerance contract.
+func TestBeginLookupNilCache(t *testing.T) {
+	var c *Cache
+	e, outcome, p, err := c.BeginLookup(context.Background(), "sig")
+	if e != nil || outcome != "miss" || p != nil || err != nil {
+		t.Fatalf("nil cache BeginLookup = %v, %q, %v, %v", e, outcome, p, err)
+	}
+	p.Finish() // nil token must be safe
+}

@@ -1,0 +1,552 @@
+// Package sched is the engine's multi-query admission layer: it decides
+// which of N concurrently submitted queries may enter the pipeline's
+// stage machinery, and meters their access to the shared execution
+// resources once admitted. One Scheduler owns
+//
+//   - query admission: at most MaxQueries queries execute at once;
+//     excess submissions queue (per class, FIFO) instead of piling
+//     goroutines onto the stage hot paths.
+//   - a shared memory pool: each admitted query reserves its
+//     batch-memory budget out of one process-wide cap at admission
+//     time, and a query whose reservation does not fit waits in the
+//     queue rather than failing — reservation happens before any stage
+//     runs, so queries never deadlock holding partial allocations.
+//   - stage-level slots: a capped pool of reusable simnet.Sim
+//     instances bounds concurrent Align work, and a compare semaphore
+//     bounds concurrent cell-comparison work, so P admitted queries
+//     cannot oversubscribe the per-query Parallelism worker budget.
+//   - fairness: admission grants are weighted-fair-queued between the
+//     interactive and scan classes by per-class virtual time, with a
+//     starvation bound forcing a waiting class through after too many
+//     consecutive grants to the other.
+//
+// Admission is control-plane only: it decides *when* a query starts,
+// never *what* it computes. A query's outputs, modeled times, and
+// profile fingerprints are bit-for-bit identical with and without a
+// scheduler attached (the concurrency equivalence test pins this); only
+// the interleaving of queries — and therefore wall-clock latency — is
+// scheduling-dependent.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shufflejoin/internal/flight"
+	"shufflejoin/internal/obs"
+	"shufflejoin/internal/simnet"
+)
+
+// Class is a query's scheduling class.
+type Class uint8
+
+const (
+	// Interactive is the latency-sensitive class (point lookups, small
+	// selective joins); it carries the higher default WFQ weight.
+	Interactive Class = iota
+	// Scan is the throughput class (large analytic scans) that may
+	// saturate the pool without starving interactive work.
+	Scan
+
+	numClasses = 2
+)
+
+// String returns the class's wire name.
+func (c Class) String() string {
+	if c == Scan {
+		return "scan"
+	}
+	return "interactive"
+}
+
+// ParseClass resolves a class name ("interactive" or "scan"; empty
+// defaults to interactive).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return Interactive, nil
+	case "scan":
+		return Scan, nil
+	}
+	return Interactive, fmt.Errorf("sched: unknown query class %q (want interactive|scan)", s)
+}
+
+// Config parameterizes a Scheduler. The zero value of every field
+// selects a sensible default, resolved by New.
+type Config struct {
+	// MaxQueries is the number of queries admitted concurrently
+	// (default: one per CPU). Submissions beyond it queue.
+	MaxQueries int
+	// AlignSlots caps concurrent Align stages — it is the size of the
+	// shared simulator pool (default: MaxQueries).
+	AlignSlots int
+	// CompareSlots caps concurrent Compare stages (default: MaxQueries).
+	CompareSlots int
+	// PoolBytes is the process-wide batch-memory cap per-query budgets
+	// are carved from; 0 disables memory admission entirely.
+	PoolBytes int64
+	// PerQueryBytes is the reservation for a query that declares no
+	// budget of its own (default: PoolBytes / MaxQueries). A declared
+	// budget larger than PoolBytes is clamped to PoolBytes so it can
+	// ever be admitted; the query's own Budget still counts overflow.
+	PerQueryBytes int64
+	// InteractiveWeight and ScanWeight are the WFQ weights (defaults
+	// 3 and 1: three interactive grants per scan grant under
+	// contention).
+	InteractiveWeight int
+	ScanWeight        int
+	// StarvationBound forces a waiting class through after this many
+	// consecutive grants to the other class (default 8).
+	StarvationBound int
+	// Registry, when non-nil, receives the scheduler's gauges,
+	// counters, and admission-wait histograms (sched.* names).
+	Registry *obs.Registry
+	// Flight overrides the recorder admission events are recorded into;
+	// nil uses the process-wide flight.Default ring.
+	Flight *flight.Recorder
+}
+
+// waitBuckets spans admission waits from 100µs to ~100s.
+var waitBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Scheduler admits queries and meters their stage-level resource use.
+// Construct with New; safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+	fr  *flight.Recorder
+
+	sims chan *simnet.Sim // capped shared simulator pool (align slots)
+	cmp  chan struct{}    // compare-stage semaphore
+
+	mu        sync.Mutex
+	queues    [numClasses][]*waiter
+	inflight  int
+	memUsed   int64
+	vtime     [numClasses]float64 // WFQ per-class virtual finish times
+	lastClass Class
+	consec    int // consecutive grants to lastClass
+	admitted  [numClasses]int64
+	rejected  [numClasses]int64
+	granted   uint64 // total grants, for deterministic ticket ids
+
+	// Metrics are optional; every handle below may be nil.
+	mDepth    [numClasses]*obs.Gauge
+	mInflight *obs.Gauge
+	mMem      *obs.Gauge
+	mAdmit    [numClasses]*obs.Counter
+	mReject   [numClasses]*obs.Counter
+	mWait     [numClasses]*obs.Histogram
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	class  Class
+	bytes  int64
+	since  time.Time
+	ready  chan struct{}
+	ticket *Ticket // set under the scheduler mutex when granted
+}
+
+// New returns a Scheduler for the given configuration, with defaults
+// resolved as documented on Config.
+func New(cfg Config) *Scheduler {
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = runtime.GOMAXPROCS(0)
+	}
+	if cfg.AlignSlots <= 0 {
+		cfg.AlignSlots = cfg.MaxQueries
+	}
+	if cfg.CompareSlots <= 0 {
+		cfg.CompareSlots = cfg.MaxQueries
+	}
+	if cfg.PerQueryBytes <= 0 && cfg.PoolBytes > 0 {
+		cfg.PerQueryBytes = cfg.PoolBytes / int64(cfg.MaxQueries)
+	}
+	if cfg.InteractiveWeight <= 0 {
+		cfg.InteractiveWeight = 3
+	}
+	if cfg.ScanWeight <= 0 {
+		cfg.ScanWeight = 1
+	}
+	if cfg.StarvationBound <= 0 {
+		cfg.StarvationBound = 8
+	}
+	s := &Scheduler{cfg: cfg, fr: cfg.Flight}
+	if s.fr == nil {
+		s.fr = flight.Default
+	}
+	s.sims = make(chan *simnet.Sim, cfg.AlignSlots)
+	for i := 0; i < cfg.AlignSlots; i++ {
+		s.sims <- new(simnet.Sim)
+	}
+	s.cmp = make(chan struct{}, cfg.CompareSlots)
+	for i := 0; i < cfg.CompareSlots; i++ {
+		s.cmp <- struct{}{}
+	}
+	if reg := cfg.Registry; reg != nil {
+		for c := Class(0); c < numClasses; c++ {
+			s.mDepth[c] = reg.Gauge("sched.queue_depth." + c.String())
+			s.mAdmit[c] = reg.Counter("sched.admitted." + c.String())
+			s.mReject[c] = reg.Counter("sched.rejected." + c.String())
+			s.mWait[c] = reg.Histogram("sched.admission_wait_seconds."+c.String(), waitBuckets)
+		}
+		s.mInflight = reg.Gauge("sched.inflight")
+		s.mMem = reg.Gauge("sched.mem_reserved_bytes")
+	}
+	return s
+}
+
+// weight returns the configured WFQ weight of a class.
+func (s *Scheduler) weight(c Class) float64 {
+	if c == Scan {
+		return float64(s.cfg.ScanWeight)
+	}
+	return float64(s.cfg.InteractiveWeight)
+}
+
+// reserveBytes resolves a query's memory reservation: its own declared
+// budget (clamped to the pool) or the per-query default. Zero when the
+// scheduler runs without a memory pool.
+func (s *Scheduler) reserveBytes(declared int64) int64 {
+	if s.cfg.PoolBytes <= 0 {
+		return 0
+	}
+	b := declared
+	if b <= 0 {
+		b = s.cfg.PerQueryBytes
+	}
+	if b > s.cfg.PoolBytes {
+		b = s.cfg.PoolBytes
+	}
+	return b
+}
+
+// Admit blocks until the query is granted a slot (and, when a memory
+// pool is configured, its reservation fits) or ctx is done. declared is
+// the query's own memory budget in bytes (0 = none; the scheduler then
+// reserves its per-query default). label annotates flight events.
+//
+// The returned Ticket is the query's resource handle: it satisfies the
+// pipeline's Gate interface for stage-level slot acquisition and must
+// be released with Done when the query finishes (success or failure).
+func (s *Scheduler) Admit(ctx context.Context, class Class, declared int64, label string) (*Ticket, error) {
+	if class >= numClasses {
+		class = Interactive
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bytes := s.reserveBytes(declared)
+
+	s.mu.Lock()
+	// Fast path: nothing queued ahead and the resources fit.
+	if s.queues[Interactive] == nil && s.queues[Scan] == nil && s.fitsLocked(bytes) {
+		t := s.grantLocked(class, bytes, 0)
+		s.mu.Unlock()
+		return t, nil
+	}
+	w := &waiter{class: class, bytes: bytes, since: time.Now(), ready: make(chan struct{})}
+	s.queues[class] = append(s.queues[class], w)
+	depth := len(s.queues[class])
+	s.setDepthLocked(class)
+	s.fr.Record(flight.EvSchedQueue, 0, s.fr.Label(class.String()), int64(depth), s.memUsed, 0)
+	// A slot may have freed between the fast-path check and the
+	// enqueue of a same-class predecessor; try to drain immediately.
+	s.grantNextLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return w.ticket, nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	if w.ticket != nil {
+		// The grant raced the cancellation: take the ticket and release
+		// it so the resources return to the pool.
+		t := w.ticket
+		s.mu.Unlock()
+		t.Done()
+		return nil, ctx.Err()
+	}
+	q := s.queues[class]
+	for i, qw := range q {
+		if qw == w {
+			s.queues[class] = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(s.queues[class]) == 0 {
+		s.queues[class] = nil
+	}
+	s.setDepthLocked(class)
+	s.rejected[class]++
+	if s.mReject[class] != nil {
+		s.mReject[class].Add(1)
+	}
+	wait := time.Since(w.since)
+	s.fr.Record(flight.EvSchedReject, 0, s.fr.Label(class.String()), int64(wait), s.fr.Label("context"), 0)
+	// Removing a head-of-line waiter may unblock a smaller one behind it.
+	s.grantNextLocked()
+	s.mu.Unlock()
+	return nil, ctx.Err()
+}
+
+// fitsLocked reports whether a query-slot plus memory reservation is
+// available right now.
+func (s *Scheduler) fitsLocked(bytes int64) bool {
+	if s.inflight >= s.cfg.MaxQueries {
+		return false
+	}
+	return s.cfg.PoolBytes <= 0 || s.memUsed+bytes <= s.cfg.PoolBytes
+}
+
+// setDepthLocked mirrors a class queue's depth into its gauge.
+func (s *Scheduler) setDepthLocked(c Class) {
+	if s.mDepth[c] != nil {
+		s.mDepth[c].Set(float64(len(s.queues[c])))
+	}
+}
+
+// pickClassLocked chooses which non-empty class queue the next grant
+// goes to: weighted fair queueing over per-class virtual time, with the
+// starvation bound overriding the WFQ choice when one class has
+// monopolized too many consecutive grants.
+func (s *Scheduler) pickClassLocked() (Class, bool) {
+	ni, ns := len(s.queues[Interactive]) > 0, len(s.queues[Scan]) > 0
+	switch {
+	case !ni && !ns:
+		return 0, false
+	case ni && !ns:
+		return Interactive, true
+	case ns && !ni:
+		return Scan, true
+	}
+	// Both wait: virtual-time WFQ. An idle class must not hoard credit,
+	// so each candidate's virtual start is floored at the current
+	// virtual "now" (the smaller of the two finish times).
+	vnow := s.vtime[Interactive]
+	if s.vtime[Scan] < vnow {
+		vnow = s.vtime[Scan]
+	}
+	finish := func(c Class) float64 {
+		v := s.vtime[c]
+		if v < vnow {
+			v = vnow
+		}
+		return v + 1/s.weight(c)
+	}
+	pick := Interactive
+	if finish(Scan) < finish(Interactive) {
+		pick = Scan
+	}
+	if s.consec >= s.cfg.StarvationBound && s.lastClass == pick {
+		pick = 1 - pick
+	}
+	return pick, true
+}
+
+// grantNextLocked drains the queues while resources last, in WFQ order.
+// When the WFQ-chosen class's head does not fit the memory pool, the
+// other class's head may still fit and is admitted instead (bounded
+// head-of-line bypass); when neither fits, admission waits for a
+// release.
+func (s *Scheduler) grantNextLocked() {
+	for s.inflight < s.cfg.MaxQueries {
+		c, ok := s.pickClassLocked()
+		if !ok {
+			return
+		}
+		if !s.fitsLocked(s.queues[c][0].bytes) {
+			o := 1 - c
+			if len(s.queues[o]) == 0 || !s.fitsLocked(s.queues[o][0].bytes) {
+				return
+			}
+			c = o
+		}
+		w := s.queues[c][0]
+		s.queues[c] = s.queues[c][1:]
+		if len(s.queues[c]) == 0 {
+			s.queues[c] = nil
+		}
+		s.setDepthLocked(c)
+		w.ticket = s.grantLocked(c, w.bytes, time.Since(w.since))
+		close(w.ready)
+	}
+}
+
+// grantLocked commits one admission: resources, WFQ bookkeeping,
+// metrics, and the flight event. Returns the query's ticket.
+func (s *Scheduler) grantLocked(c Class, bytes int64, waited time.Duration) *Ticket {
+	s.inflight++
+	s.memUsed += bytes
+	vnow := s.vtime[Interactive]
+	if s.vtime[Scan] < vnow {
+		vnow = s.vtime[Scan]
+	}
+	if s.vtime[c] < vnow {
+		s.vtime[c] = vnow
+	}
+	s.vtime[c] += 1 / s.weight(c)
+	if c == s.lastClass {
+		s.consec++
+	} else {
+		s.lastClass, s.consec = c, 1
+	}
+	s.admitted[c]++
+	s.granted++
+	if s.mAdmit[c] != nil {
+		s.mAdmit[c].Add(1)
+	}
+	if s.mWait[c] != nil {
+		s.mWait[c].Observe(waited.Seconds())
+	}
+	if s.mInflight != nil {
+		s.mInflight.Set(float64(s.inflight))
+	}
+	if s.mMem != nil {
+		s.mMem.Set(float64(s.memUsed))
+	}
+	s.fr.Record(flight.EvSchedAdmit, 0, s.fr.Label(c.String()), int64(waited), int64(s.inflight), 0)
+	return &Ticket{s: s, class: c, bytes: bytes}
+}
+
+// release returns a finished query's slot and reservation and wakes the
+// queue.
+func (s *Scheduler) release(t *Ticket) {
+	s.mu.Lock()
+	s.inflight--
+	s.memUsed -= t.bytes
+	if s.mInflight != nil {
+		s.mInflight.Set(float64(s.inflight))
+	}
+	if s.mMem != nil {
+		s.mMem.Set(float64(s.memUsed))
+	}
+	s.grantNextLocked()
+	s.mu.Unlock()
+}
+
+// Ticket is one admitted query's handle on the scheduler's shared
+// resources. It implements the pipeline's Gate interface (stage-level
+// simulator and compare-slot acquisition) and must be released exactly
+// once with Done; Done is idempotent.
+type Ticket struct {
+	s     *Scheduler
+	class Class
+	bytes int64
+	done  atomic.Bool
+}
+
+// Class returns the ticket's scheduling class.
+func (t *Ticket) Class() Class { return t.class }
+
+// MemoryBytes returns the batch-memory reservation carved for this
+// query out of the scheduler's pool (0 when no pool is configured).
+func (t *Ticket) MemoryBytes() int64 { return t.bytes }
+
+// AcquireSim borrows a simulator from the scheduler's capped shared
+// pool, blocking while all AlignSlots instances are in use.
+func (t *Ticket) AcquireSim(ctx context.Context) (*simnet.Sim, error) {
+	select {
+	case sim := <-t.s.sims:
+		return sim, nil
+	default:
+	}
+	select {
+	case sim := <-t.s.sims:
+		return sim, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ReleaseSim returns a borrowed simulator to the shared pool.
+func (t *Ticket) ReleaseSim(sim *simnet.Sim) {
+	if sim != nil {
+		t.s.sims <- sim
+	}
+}
+
+// AcquireCompare takes a compare-stage slot, blocking while all
+// CompareSlots are in use.
+func (t *Ticket) AcquireCompare(ctx context.Context) error {
+	select {
+	case <-t.s.cmp:
+		return nil
+	default:
+	}
+	select {
+	case <-t.s.cmp:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReleaseCompare returns a compare-stage slot.
+func (t *Ticket) ReleaseCompare() { t.s.cmp <- struct{}{} }
+
+// Done releases the query's admission slot and memory reservation and
+// admits the next queued query. Idempotent.
+func (t *Ticket) Done() {
+	if t.done.CompareAndSwap(false, true) {
+		t.s.release(t)
+	}
+}
+
+// ClassCounts is one class's admission counters in a Snapshot.
+type ClassCounts struct {
+	Queued   int   `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Snapshot is a point-in-time view of the scheduler's admission state,
+// served on /debug/inflight.
+type Snapshot struct {
+	MaxQueries       int         `json:"max_queries"`
+	Inflight         int         `json:"inflight"`
+	Interactive      ClassCounts `json:"interactive"`
+	Scan             ClassCounts `json:"scan"`
+	MemReservedBytes int64       `json:"mem_reserved_bytes"`
+	MemPoolBytes     int64       `json:"mem_pool_bytes"`
+	AlignSlotsFree   int         `json:"align_slots_free"`
+	AlignSlots       int         `json:"align_slots"`
+	CompareSlotsFree int         `json:"compare_slots_free"`
+	CompareSlots     int         `json:"compare_slots"`
+}
+
+// Snapshot returns the scheduler's current admission state.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		MaxQueries: s.cfg.MaxQueries,
+		Inflight:   s.inflight,
+		Interactive: ClassCounts{
+			Queued:   len(s.queues[Interactive]),
+			Admitted: s.admitted[Interactive],
+			Rejected: s.rejected[Interactive],
+		},
+		Scan: ClassCounts{
+			Queued:   len(s.queues[Scan]),
+			Admitted: s.admitted[Scan],
+			Rejected: s.rejected[Scan],
+		},
+		MemReservedBytes: s.memUsed,
+		MemPoolBytes:     s.cfg.PoolBytes,
+		AlignSlots:       s.cfg.AlignSlots,
+		CompareSlots:     s.cfg.CompareSlots,
+	}
+	s.mu.Unlock()
+	snap.AlignSlotsFree = len(s.sims)
+	snap.CompareSlotsFree = len(s.cmp)
+	return snap
+}

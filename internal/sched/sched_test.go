@@ -1,0 +1,509 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shufflejoin/internal/flight"
+	"shufflejoin/internal/obs"
+)
+
+// TestAdmissionCap pins that at most MaxQueries tickets are outstanding
+// at once and that released slots admit queued work.
+func TestAdmissionCap(t *testing.T) {
+	s := New(Config{MaxQueries: 2, Flight: flight.New(64)})
+	ctx := context.Background()
+
+	t1, err := s.Admit(ctx, Interactive, 0, "q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Admit(ctx, Interactive, 0, "q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot().Inflight; got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	admitted := make(chan *Ticket)
+	go func() {
+		t3, err := s.Admit(ctx, Interactive, 0, "q3")
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- t3
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("third query admitted past MaxQueries=2")
+	case <-time.After(30 * time.Millisecond):
+	}
+	t1.Done()
+	t3 := <-admitted
+	if got := s.Snapshot().Inflight; got != 2 {
+		t.Fatalf("inflight after release+grant = %d, want 2", got)
+	}
+	t2.Done()
+	t3.Done()
+	if snap := s.Snapshot(); snap.Inflight != 0 || snap.MemReservedBytes != 0 {
+		t.Fatalf("after all Done: %+v", snap)
+	}
+}
+
+// TestMemoryQueuing pins that a query whose reservation does not fit the
+// pool queues (not fails) and runs once memory frees.
+func TestMemoryQueuing(t *testing.T) {
+	s := New(Config{MaxQueries: 8, PoolBytes: 1000, Flight: flight.New(64)})
+	ctx := context.Background()
+
+	big, err := s.Admit(ctx, Scan, 800, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MemoryBytes() != 800 {
+		t.Fatalf("reservation = %d, want 800", big.MemoryBytes())
+	}
+
+	admitted := make(chan *Ticket)
+	go func() {
+		tk, err := s.Admit(ctx, Scan, 500, "second")
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- tk
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("500-byte query admitted into a pool with 200 free")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if q := s.Snapshot().Scan.Queued; q != 1 {
+		t.Fatalf("queued = %d, want 1", q)
+	}
+	big.Done()
+	tk := <-admitted
+	if got := s.Snapshot().MemReservedBytes; got != 500 {
+		t.Fatalf("mem reserved = %d, want 500", got)
+	}
+	tk.Done()
+}
+
+// TestReservationClamp pins that a declared budget larger than the pool
+// is clamped so the query can ever be admitted.
+func TestReservationClamp(t *testing.T) {
+	s := New(Config{MaxQueries: 2, PoolBytes: 1000, Flight: flight.New(64)})
+	tk, err := s.Admit(context.Background(), Scan, 1<<40, "huge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.MemoryBytes() != 1000 {
+		t.Fatalf("reservation = %d, want clamp to 1000", tk.MemoryBytes())
+	}
+	tk.Done()
+}
+
+// TestDefaultReservation pins the PoolBytes/MaxQueries default carve.
+func TestDefaultReservation(t *testing.T) {
+	s := New(Config{MaxQueries: 4, PoolBytes: 1000, Flight: flight.New(64)})
+	tk, err := s.Admit(context.Background(), Interactive, 0, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.MemoryBytes() != 250 {
+		t.Fatalf("default reservation = %d, want 250", tk.MemoryBytes())
+	}
+	tk.Done()
+}
+
+// TestWeightedFairness pins the WFQ grant ratio: with both classes
+// backlogged at weights 3:1, interactive receives three grants per scan
+// grant (up to rounding over the run).
+func TestWeightedFairness(t *testing.T) {
+	s := New(Config{
+		MaxQueries:        1,
+		InteractiveWeight: 3,
+		ScanWeight:        1,
+		StarvationBound:   1000, // isolate pure WFQ behavior
+		Flight:            flight.New(64),
+	})
+	ctx := context.Background()
+	hold, err := s.Admit(ctx, Interactive, 0, "hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perClass = 20
+	order := make(chan Class, 2*perClass)
+	var wg sync.WaitGroup
+	enqueue := func(c Class) {
+		defer wg.Done()
+		tk, err := s.Admit(ctx, c, 0, "w")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		order <- c
+		tk.Done()
+	}
+	wg.Add(2 * perClass)
+	for i := 0; i < perClass; i++ {
+		go enqueue(Interactive)
+		go enqueue(Scan)
+	}
+	// Let every waiter enqueue before the single slot starts draining,
+	// so the WFQ choice sees both classes backlogged throughout.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := s.Snapshot()
+		if snap.Interactive.Queued == perClass && snap.Scan.Queued == perClass {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters failed to enqueue: %+v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hold.Done()
+	wg.Wait()
+	close(order)
+
+	// Count the interactive:scan ratio over the first grants while both
+	// classes were still backlogged (first 24 grants ≈ 18i + 6s).
+	granted := make([]Class, 0, 2*perClass)
+	for c := range order {
+		granted = append(granted, c)
+	}
+	ni := 0
+	window := granted[:24]
+	for _, c := range window {
+		if c == Interactive {
+			ni++
+		}
+	}
+	if ni < 16 || ni > 20 {
+		t.Fatalf("interactive grants in first %d = %d, want ~18 (3:1 weights); order=%v", len(window), ni, granted)
+	}
+}
+
+// TestStarvationBound pins that a backlogged scan query is granted
+// within StarvationBound consecutive interactive grants.
+func TestStarvationBound(t *testing.T) {
+	s := New(Config{
+		MaxQueries:        1,
+		InteractiveWeight: 1 << 20, // WFQ alone would starve scan for ages
+		ScanWeight:        1,
+		StarvationBound:   3,
+		Flight:            flight.New(64),
+	})
+	ctx := context.Background()
+	hold, err := s.Admit(ctx, Interactive, 0, "hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan Class, 32)
+	var wg sync.WaitGroup
+	enqueue := func(c Class) {
+		defer wg.Done()
+		tk, err := s.Admit(ctx, c, 0, "w")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		order <- c
+		tk.Done()
+	}
+	wg.Add(11)
+	for i := 0; i < 10; i++ {
+		go enqueue(Interactive)
+	}
+	go enqueue(Scan)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := s.Snapshot()
+		if snap.Interactive.Queued == 10 && snap.Scan.Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters failed to enqueue: %+v", s.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hold.Done()
+	wg.Wait()
+	close(order)
+
+	pos := -1
+	i := 0
+	for c := range order {
+		if c == Scan {
+			pos = i
+			break
+		}
+		i++
+	}
+	// hold was interactive, so scan must land within the first
+	// StarvationBound grants of the drain.
+	if pos < 0 || pos > 3 {
+		t.Fatalf("scan granted at position %d, want <= 3 (starvation bound)", pos)
+	}
+}
+
+// TestCancelWhileQueued pins that a queued admission honors context
+// cancellation, is removed from the queue, and does not leak resources
+// even when the cancellation races an in-flight grant.
+func TestCancelWhileQueued(t *testing.T) {
+	s := New(Config{MaxQueries: 1, Flight: flight.New(64)})
+	bg := context.Background()
+	hold, err := s.Admit(bg, Interactive, 0, "hold")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit(ctx, Interactive, 0, "victim")
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Snapshot().Interactive.Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("queued cancel: err = %v, want context.Canceled", err)
+	}
+	snap := s.Snapshot()
+	if snap.Interactive.Queued != 0 || snap.Interactive.Rejected != 1 {
+		t.Fatalf("after cancel: %+v", snap)
+	}
+	hold.Done()
+	if snap := s.Snapshot(); snap.Inflight != 0 {
+		t.Fatalf("leaked inflight after cancel: %+v", snap)
+	}
+
+	// Grant/cancel race: hammer both sides; whatever the interleaving,
+	// no slot or memory may leak.
+	for i := 0; i < 200; i++ {
+		h, err := s.Admit(bg, Interactive, 10, "h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rctx, rcancel := context.WithCancel(bg)
+		done := make(chan struct{})
+		go func() {
+			tk, err := s.Admit(rctx, Interactive, 10, "r")
+			if err == nil {
+				tk.Done()
+			}
+			close(done)
+		}()
+		go rcancel()
+		h.Done()
+		<-done
+		rcancel()
+	}
+	if snap := s.Snapshot(); snap.Inflight != 0 || snap.MemReservedBytes != 0 {
+		t.Fatalf("leak after race storm: %+v", snap)
+	}
+}
+
+// TestPreCanceledContext pins that Admit fails fast on an already-done
+// context without touching the queues.
+func TestPreCanceledContext(t *testing.T) {
+	s := New(Config{MaxQueries: 1, Flight: flight.New(64)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Admit(ctx, Scan, 0, "q"); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSimPoolCapped pins that AcquireSim blocks at AlignSlots
+// outstanding simulators and that instances are reused.
+func TestSimPoolCapped(t *testing.T) {
+	s := New(Config{MaxQueries: 4, AlignSlots: 2, Flight: flight.New(64)})
+	ctx := context.Background()
+	tk, err := s.Admit(ctx, Interactive, 0, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tk.AcquireSim(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tk.AcquireSim(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := tk.AcquireSim(tctx); err != context.DeadlineExceeded {
+		t.Fatalf("third AcquireSim: err = %v, want DeadlineExceeded", err)
+	}
+	tk.ReleaseSim(s1)
+	s3, err := tk.AcquireSim(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Fatal("released simulator not reused")
+	}
+	tk.ReleaseSim(s2)
+	tk.ReleaseSim(s3)
+	if free := s.Snapshot().AlignSlotsFree; free != 2 {
+		t.Fatalf("align slots free = %d, want 2", free)
+	}
+	tk.Done()
+}
+
+// TestCompareSlots pins the compare semaphore bound.
+func TestCompareSlots(t *testing.T) {
+	s := New(Config{MaxQueries: 4, CompareSlots: 1, Flight: flight.New(64)})
+	ctx := context.Background()
+	tk, err := s.Admit(ctx, Interactive, 0, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.AcquireCompare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := tk.AcquireCompare(tctx); err != context.DeadlineExceeded {
+		t.Fatalf("second AcquireCompare: err = %v, want DeadlineExceeded", err)
+	}
+	tk.ReleaseCompare()
+	if free := s.Snapshot().CompareSlotsFree; free != 1 {
+		t.Fatalf("compare slots free = %d, want 1", free)
+	}
+	tk.Done()
+}
+
+// TestDoneIdempotent pins that double-Done releases once.
+func TestDoneIdempotent(t *testing.T) {
+	s := New(Config{MaxQueries: 2, PoolBytes: 100, Flight: flight.New(64)})
+	tk, err := s.Admit(context.Background(), Interactive, 50, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Done()
+	tk.Done()
+	snap := s.Snapshot()
+	if snap.Inflight != 0 || snap.MemReservedBytes != 0 {
+		t.Fatalf("after double Done: %+v", snap)
+	}
+}
+
+// TestMetricsAndFlight pins the obs registry and flight-recorder
+// surfaces of admission.
+func TestMetricsAndFlight(t *testing.T) {
+	reg := obs.NewRegistry()
+	fr := flight.New(128)
+	s := New(Config{MaxQueries: 1, Registry: reg, Flight: fr})
+	ctx := context.Background()
+	t1, err := s.Admit(ctx, Interactive, 0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		t2, err := s.Admit(ctx, Scan, 0, "b")
+		if err == nil {
+			t2.Done()
+		}
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Snapshot().Scan.Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("scan never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t1.Done()
+	<-done
+
+	counters := reg.Snapshot()
+	if counters["sched.admitted.interactive"] != 1 || counters["sched.admitted.scan"] != 1 {
+		t.Fatalf("admitted counters: %v", counters)
+	}
+
+	var sawQueue, sawAdmit bool
+	for _, e := range fr.Snapshot(0) {
+		switch e.Type {
+		case flight.EvSchedQueue:
+			sawQueue = true
+			if fr.LabelName(e.Args[0]) != "scan" {
+				t.Fatalf("queue event class = %q", fr.LabelName(e.Args[0]))
+			}
+		case flight.EvSchedAdmit:
+			sawAdmit = true
+		}
+	}
+	if !sawQueue || !sawAdmit {
+		t.Fatalf("flight events: queue=%v admit=%v", sawQueue, sawAdmit)
+	}
+}
+
+// TestParseClass pins the class-name surface.
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{"": Interactive, "interactive": Interactive, "scan": Scan} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseClass("batch"); err == nil {
+		t.Fatal("ParseClass accepted unknown class")
+	}
+}
+
+// TestConcurrentChurn hammers the scheduler from many goroutines under
+// the race detector and pins conservation: admitted == completed, no
+// slot or memory leak.
+func TestConcurrentChurn(t *testing.T) {
+	s := New(Config{MaxQueries: 4, PoolBytes: 1 << 20, Flight: flight.New(256)})
+	ctx := context.Background()
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := Interactive
+				if (g+i)%3 == 0 {
+					c = Scan
+				}
+				tk, err := s.Admit(ctx, c, int64(1024*(i%7+1)), "churn")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sim, err := tk.AcquireSim(ctx)
+				if err == nil {
+					tk.ReleaseSim(sim)
+				}
+				tk.Done()
+				completed.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Inflight != 0 || snap.MemReservedBytes != 0 {
+		t.Fatalf("leak after churn: %+v", snap)
+	}
+	if total := snap.Interactive.Admitted + snap.Scan.Admitted; total != completed.Load() {
+		t.Fatalf("admitted %d != completed %d", total, completed.Load())
+	}
+}

@@ -1,0 +1,326 @@
+// Package servebench is the closed-loop concurrent-serving benchmark:
+// it replays a mixed interactive/scan AQL workload through the facade's
+// scheduler (DB.Serve) at increasing concurrency levels and reports
+// throughput and latency percentiles per class. It lives outside
+// internal/bench because it drives the public facade — the scheduler,
+// admission control, and per-query options are facade surface — and the
+// root package's own benchmarks import internal/bench.
+//
+// The workload is the serving shape the paper's engine would face in a
+// multi-tenant deployment: many small latency-sensitive joins
+// (interactive class) mixed with fewer large skewed analytic joins
+// (scan class), every query running with sequential internal
+// parallelism so cross-query concurrency is the only parallelism —
+// the closed-loop speedup from 1 to N workers then measures the
+// scheduler's ability to keep N queries genuinely in flight.
+package servebench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"shufflejoin"
+)
+
+// Config parameterizes the serving benchmark. Zero fields select
+// defaults.
+type Config struct {
+	// Nodes is the simulated cluster size (default 4).
+	Nodes int
+	// Queries is the job count replayed per concurrency level
+	// (default 2000).
+	Queries int
+	// Mix is the interactive fraction of the workload (default 0.75).
+	Mix float64
+	// Levels are the closed-loop concurrency levels (default 1, 4, 16).
+	Levels []int
+	// InteractiveCells / ScanCells size the two array pairs
+	// (defaults 2000 and 24000 cells per side).
+	InteractiveCells int
+	ScanCells        int
+	// PoolBytes is the scheduler's shared memory pool (default 256 MiB).
+	PoolBytes int64
+	// Timeout bounds each query (0 = none).
+	Timeout time.Duration
+	// Seed makes the workload mix deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	if c.Mix == 0 {
+		c.Mix = 0.75
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []int{1, 4, 16}
+	}
+	if c.InteractiveCells == 0 {
+		c.InteractiveCells = 2000
+	}
+	if c.ScanCells == 0 {
+		c.ScanCells = 24000
+	}
+	if c.PoolBytes == 0 {
+		c.PoolBytes = 256 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Latency is a latency digest in milliseconds.
+type Latency struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func toLatency(s shufflejoin.LatencySummary) Latency {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Latency{
+		Count:  s.Count,
+		MeanMs: ms(s.Mean),
+		P50Ms:  ms(s.P50),
+		P95Ms:  ms(s.P95),
+		P99Ms:  ms(s.P99),
+		MaxMs:  ms(s.Max),
+	}
+}
+
+// Row is one concurrency level's outcome.
+type Row struct {
+	Concurrency int      `json:"concurrency"`
+	Completed   int64    `json:"completed"`
+	Failed      int64    `json:"failed"`
+	WallSeconds float64  `json:"wall_seconds"`
+	QPS         float64  `json:"qps"`
+	Overall     Latency  `json:"overall"`
+	Interactive Latency  `json:"interactive"`
+	Scan        Latency  `json:"scan"`
+	Errors      []string `json:"errors,omitempty"`
+}
+
+const (
+	qInteractive = "SELECT IA.v, IB.w FROM IA, IB WHERE IA.i = IB.i"
+	qScan        = "SELECT SA.v, SB.w FROM SA, SB WHERE SA.i = SB.i"
+)
+
+// buildPair creates and fills one joinable array pair with unique
+// coordinates per side (so join output is linear in the input, never a
+// hotspot cross product). When skew > 1, cells pile into
+// Zipf-distributed chunks — the paper's skew shape: chunk-density
+// imbalance, with full chunks spilling to the next — while a uniform
+// pair spreads cells evenly.
+func buildPair(db *shufflejoin.DB, a, b string, cells int, skew float64, seed int64) error {
+	const nchunks = 8
+	domain := int64(cells) * 2
+	chunk := domain / nchunks
+	if chunk < 1 {
+		chunk = 1
+	}
+	for i, name := range []string{a, b} {
+		attr := "v"
+		if i == 1 {
+			attr = "w"
+		}
+		ar, err := db.CreateArray(fmt.Sprintf("%s<%s:int>[i=1,%d,%d]", name, attr, domain, chunk))
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		var zipf *rand.Zipf
+		if skew > 1 {
+			zipf = rand.NewZipf(rng, skew, 1, nchunks-1)
+		}
+		// fill[k] is the next free offset in chunk k; a full chunk
+		// spills into the following one.
+		var fill [nchunks]int64
+		for j := 0; j < cells; j++ {
+			k := j % nchunks
+			if zipf != nil {
+				k = int(zipf.Uint64())
+			}
+			for fill[k] >= chunk {
+				k = (k + 1) % nchunks
+			}
+			coord := int64(k)*chunk + fill[k] + 1
+			fill[k]++
+			if err := ar.Insert([]int64{coord}, rng.Int63n(1000)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the benchmark: one DB, one workload, replayed through a
+// fresh scheduler per concurrency level (so per-level admission
+// counters and queue state are independent). Every query runs with
+// sequential internal parallelism and a shared plan cache — the first
+// execution of each template plans, every later one replays the cached
+// assignment (concurrent duplicates collapse via the cache's
+// singleflight), so the measured region is steady-state serving.
+func Run(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	db, err := shufflejoin.Open(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := buildPair(db, "IA", "IB", cfg.InteractiveCells, 0, cfg.Seed*7+1); err != nil {
+		return nil, err
+	}
+	if err := buildPair(db, "SA", "SB", cfg.ScanCells, 1.2, cfg.Seed*7+3); err != nil {
+		return nil, err
+	}
+
+	// One deterministic job mix, replayed identically at every level.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type tmpl struct {
+		query, class string
+	}
+	mix := make([]tmpl, cfg.Queries)
+	for i := range mix {
+		if rng.Float64() < cfg.Mix {
+			mix[i] = tmpl{qInteractive, "interactive"}
+		} else {
+			mix[i] = tmpl{qScan, "scan"}
+		}
+	}
+
+	var rows []Row
+	for _, level := range cfg.Levels {
+		cache := shufflejoin.NewPlanCache()
+		opts := []shufflejoin.QueryOption{
+			shufflejoin.WithParallelism(1),
+			shufflejoin.WithPlanCache(cache),
+		}
+		// Warm both templates serially: seals the arrays and populates
+		// the plan cache, so the timed region measures steady-state
+		// serving, not first-query planning.
+		for _, q := range []string{qInteractive, qScan} {
+			if _, err := db.Query(q, opts...); err != nil {
+				return nil, fmt.Errorf("servebench: warmup %q: %w", q, err)
+			}
+		}
+		s := db.NewScheduler(shufflejoin.SchedulerConfig{
+			MaxQueries:      level,
+			MemoryPoolBytes: cfg.PoolBytes,
+		})
+		jobs := make([]shufflejoin.ServeJob, len(mix))
+		for i, t := range mix {
+			jobs[i] = shufflejoin.ServeJob{Query: t.query, Class: t.class, Options: opts}
+		}
+		rep, err := db.Serve(jobs, shufflejoin.ServeOptions{
+			Concurrency: level,
+			Scheduler:   s,
+			Timeout:     cfg.Timeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Concurrency: level,
+			Completed:   rep.Completed,
+			Failed:      rep.Failed,
+			WallSeconds: rep.Wall.Seconds(),
+			QPS:         rep.QPS,
+			Overall:     toLatency(rep.Latency),
+			Interactive: toLatency(rep.PerClass["interactive"]),
+			Scan:        toLatency(rep.PerClass["scan"]),
+			Errors:      rep.Errors,
+		})
+	}
+	return rows, nil
+}
+
+// Render writes the benchmark rows as an aligned text table.
+func Render(w io.Writer, rows []Row) {
+	title := "Concurrent serving: closed-loop throughput and latency"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-6s %9s %7s %9s %10s | %-21s | %-21s\n",
+		"conc", "queries", "failed", "QPS", "wall(s)", "interactive p50/p99 ms", "scan p50/p99 ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %9d %7d %9.1f %10.2f | %9.2f / %9.2f | %9.2f / %9.2f\n",
+			r.Concurrency, r.Completed, r.Failed, r.QPS, r.WallSeconds,
+			r.Interactive.P50Ms, r.Interactive.P99Ms, r.Scan.P50Ms, r.Scan.P99Ms)
+	}
+	fmt.Fprintln(w)
+}
+
+// Gate thresholds (exported so CI output can cite them).
+const (
+	// SpeedupMin is the minimum 4-way closed-loop throughput multiple
+	// over serial.
+	SpeedupMin = 2.0
+	// P99FactorLimit bounds the interactive p99 at concurrency 4 to
+	// this multiple of its serial p99 (higher levels deliberately
+	// oversubscribe the machine and are reported, not gated) ...
+	P99FactorLimit = 25.0
+	// ... with P99FloorMs as an absolute floor on that limit, so
+	// microsecond-class serial p99s on fast machines don't turn jitter
+	// into failures.
+	P99FloorMs = 250.0
+)
+
+// Gate enforces the serving acceptance criteria: no failed queries, a
+// >= SpeedupMin throughput multiple from concurrency 1 to 4, and an
+// interactive p99 at concurrency 4 within P99FactorLimit x the serial
+// p99 (floored at P99FloorMs).
+//
+// The queries are pure CPU work (the cluster and its network are
+// simulated), so the achievable closed-loop speedup is bounded by the
+// machine: on fewer than 4 CPUs the 2x multiple is physically
+// impossible and the throughput check degrades to a no-regression bound
+// (concurrency must not cost throughput).
+func Gate(rows []Row) error {
+	byLevel := make(map[int]Row, len(rows))
+	for _, r := range rows {
+		if r.Failed > 0 {
+			return fmt.Errorf("servebench: %d failed queries at concurrency %d: %v", r.Failed, r.Concurrency, r.Errors)
+		}
+		byLevel[r.Concurrency] = r
+	}
+	base, okBase := byLevel[1]
+	four, okFour := byLevel[4]
+	if !okBase || !okFour {
+		return fmt.Errorf("servebench: gate needs concurrency levels 1 and 4 (have %v)", levelsOf(rows))
+	}
+	need := SpeedupMin
+	if cpus := runtime.GOMAXPROCS(0); cpus < 4 {
+		need = 0.85 // no-regression bound on machines that cannot parallelize
+	}
+	if four.QPS < need*base.QPS {
+		return fmt.Errorf("servebench: 4-way throughput %.1f qps < %.2fx serial %.1f qps (%d CPUs)",
+			four.QPS, need, base.QPS, runtime.GOMAXPROCS(0))
+	}
+	limit := P99FactorLimit * base.Interactive.P99Ms
+	if limit < P99FloorMs {
+		limit = P99FloorMs
+	}
+	if four.Interactive.P99Ms > limit {
+		return fmt.Errorf("servebench: interactive p99 %.1fms at concurrency 4 exceeds limit %.1fms (%.0fx serial p99 %.2fms, floor %.0fms)",
+			four.Interactive.P99Ms, limit, P99FactorLimit, base.Interactive.P99Ms, P99FloorMs)
+	}
+	return nil
+}
+
+func levelsOf(rows []Row) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = r.Concurrency
+	}
+	return out
+}

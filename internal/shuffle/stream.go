@@ -12,7 +12,6 @@ package shuffle
 
 import (
 	"fmt"
-	"sync"
 
 	"shufflejoin/internal/array"
 	"shufflejoin/internal/batch"
@@ -67,10 +66,6 @@ type RunSet struct {
 
 	runs   [][]*batch.Batch // [u*Nodes+node]
 	counts []int64          // [u*Nodes+node]
-
-	mu          sync.Mutex
-	freeBatches []*batch.Batch
-	freeReaders []*TupleReader
 }
 
 // Intern returns the query dictionary the set encodes strings through.
@@ -107,41 +102,36 @@ func (rs *RunSet) TotalCells() int64 {
 	return n
 }
 
-// getBatch returns a cleared batch, recycled when possible.
+// getBatch returns a cleared batch shaped for this side's layout. The
+// process-wide sharded batch pool replaced the per-RunSet mutex-guarded
+// free list: under concurrent serving the old list serialized every
+// mapper worker of a query on one lock and discarded grown storage at
+// query end, while the shared pool recycles batches across queries
+// (batch.Reshape revives retained column storage) with a per-CPU shard
+// pick instead of a global lock.
 func (rs *RunSet) getBatch() *batch.Batch {
-	rs.mu.Lock()
-	if n := len(rs.freeBatches); n > 0 {
-		bt := rs.freeBatches[n-1]
-		rs.freeBatches = rs.freeBatches[:n-1]
-		rs.mu.Unlock()
-		return bt
-	}
-	rs.mu.Unlock()
-	return batch.New(rs.lay.ndims, rs.lay.types, rs.batchRows)
+	return batch.Get(rs.lay.ndims, rs.lay.types, rs.batchRows)
 }
 
 // ReleaseUnit recycles unit u's batches and credits their bytes back to
 // the budget. Called once a unit's comparison has fully consumed it;
 // idempotent.
 func (rs *RunSet) ReleaseUnit(u int) {
-	var freed []*batch.Batch
 	var bytes int64
+	freed := false
 	for node := 0; node < rs.Nodes; node++ {
 		idx := u*rs.Nodes + node
 		for _, bt := range rs.runs[idx] {
 			bytes += bt.Bytes()
 			bt.Reset()
-			freed = append(freed, bt)
+			batch.Put(bt)
+			freed = true
 		}
 		rs.runs[idx] = nil
 	}
-	if len(freed) == 0 {
-		return
+	if freed {
+		rs.budget.Release(bytes)
 	}
-	rs.budget.Release(bytes)
-	rs.mu.Lock()
-	rs.freeBatches = append(rs.freeBatches, freed...)
-	rs.mu.Unlock()
 }
 
 // refValue reads the value a predicate term selects from a chunk row,
@@ -324,30 +314,30 @@ type TupleReader struct {
 	attrs  []array.Value
 }
 
+// readerPool recycles TupleReaders (arenas and all) across units,
+// queries, and RunSets — a sharded pool for the same reason as the
+// batch pool: the per-RunSet free list serialized concurrent compare
+// workers on the set's mutex and dropped the grown arenas at query end.
+var readerPool = par.NewPool[*TupleReader](64)
+
 // Reader returns a pooled reader over unit u as assembled at node dest.
 func (rs *RunSet) Reader(u, dest int) *TupleReader {
-	rs.mu.Lock()
-	var r *TupleReader
-	if n := len(rs.freeReaders); n > 0 {
-		r = rs.freeReaders[n-1]
-		rs.freeReaders = rs.freeReaders[:n-1]
+	r, ok := readerPool.Get()
+	if !ok {
+		r = &TupleReader{}
 	}
-	rs.mu.Unlock()
-	if r == nil {
-		r = &TupleReader{rs: rs}
-	}
+	r.rs = rs
 	r.u, r.dest = u, dest
 	r.total = int(rs.UnitTotal(u))
 	r.vi, r.seq = 0, 0
 	return r
 }
 
-// Close recycles the reader into its RunSet's pool.
+// Close recycles the reader. The RunSet reference is dropped so a
+// pooled reader never pins a finished query's slice map.
 func (r *TupleReader) Close() {
-	rs := r.rs
-	rs.mu.Lock()
-	rs.freeReaders = append(rs.freeReaders, r)
-	rs.mu.Unlock()
+	r.rs = nil
+	readerPool.Put(r)
 }
 
 // Len implements join.TupleStream: the unit side's total tuple count.

@@ -233,8 +233,8 @@ func TestHistogramBoundaryValues(t *testing.T) {
 func TestHistogramDegenerateRange(t *testing.T) {
 	h := NewHistogram(7, 7, 4) // Hi == Lo: single-point domain
 	h.Add(7)
-	h.Add(6)  // below: clamps to bucket 0
-	h.Add(8)  // above: clamps to bucket 0
+	h.Add(6) // below: clamps to bucket 0
+	h.Add(8) // above: clamps to bucket 0
 	h.Add(math.NaN())
 	if h.Buckets[0] != 3 {
 		t.Errorf("Buckets[0] = %d, want 3 (all finite values collapse to bucket 0)", h.Buckets[0])

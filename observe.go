@@ -43,6 +43,10 @@ type ObsConfig struct {
 	// Status annotates /debug/status with deployment identification
 	// (component name plus free-form details).
 	Status StatusInfo
+	// Scheduler, when non-nil, annotates /debug/inflight and
+	// /debug/status with the query scheduler's live admission state
+	// (queue depths per class, memory-pool usage, free stage slots).
+	Scheduler *Scheduler
 }
 
 // NewObsHub creates a telemetry hub backed by the database's cumulative
@@ -56,6 +60,7 @@ func (db *DB) NewObsHub(cfg ObsConfig) *ObsHub {
 		SlowQuery:        cfg.SlowQuery,
 		Flight:           cfg.Flight,
 		Status:           cfg.Status,
+		Sched:            cfg.Scheduler,
 	})
 }
 

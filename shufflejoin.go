@@ -25,8 +25,10 @@
 package shufflejoin
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"shufflejoin/internal/aql"
@@ -40,17 +42,27 @@ import (
 	"shufflejoin/internal/physical"
 	"shufflejoin/internal/pipeline"
 	"shufflejoin/internal/plancache"
+	"shufflejoin/internal/sched"
 	"shufflejoin/internal/simnet"
 	"shufflejoin/internal/storage"
 	"shufflejoin/internal/workload"
 )
 
-// DB is a simulated shared-nothing array database cluster.
+// DB is a simulated shared-nothing array database cluster. A DB is safe
+// for concurrent Query calls: two-way queries only read the shared
+// catalog and run fully in parallel, while catalog mutations (sealing
+// pending arrays, multi-way joins registering intermediates,
+// Redimension) serialize behind a write lock.
 type DB struct {
 	cluster  *cluster.Cluster
-	pending  map[string]*Array
 	defaults queryConfig
 	metrics  *obs.Registry
+
+	// mu guards the catalog and the pending-array map: read-held for the
+	// duration of a two-way query, write-held by sealing, multi-way
+	// queries, and redimension.
+	mu      sync.RWMutex
+	pending map[string]*Array
 }
 
 // Open creates a database spread over the given number of nodes.
@@ -116,7 +128,9 @@ func (db *DB) CreateArray(schemaLiteral string) (*Array, error) {
 		return nil, err
 	}
 	ar := &Array{db: db, inner: a}
+	db.mu.Lock()
 	db.pending[s.Name] = ar
+	db.mu.Unlock()
 	return ar, nil
 }
 
@@ -163,6 +177,13 @@ func (ar *Array) DistributeByHash() { ar.policy = cluster.HashChunks }
 // Seal sorts, distributes, and registers the array, making it queryable.
 // Queries seal pending arrays automatically.
 func (ar *Array) Seal() {
+	ar.db.mu.Lock()
+	ar.sealLocked()
+	ar.db.mu.Unlock()
+}
+
+// sealLocked is Seal with the DB's write lock already held.
+func (ar *Array) sealLocked() {
 	if ar.loaded {
 		return
 	}
@@ -174,9 +195,11 @@ func (ar *Array) Seal() {
 
 // sealAll seals every pending array.
 func (db *DB) sealAll() {
+	db.mu.Lock()
 	for _, ar := range db.pending {
-		ar.Seal()
+		ar.sealLocked()
 	}
+	db.mu.Unlock()
 }
 
 // LoadShipTracks generates and loads an AIS-like ship-tracking array
@@ -249,6 +272,10 @@ type queryConfig struct {
 	flight       *flight.Recorder
 	flightOff    bool
 	postmortem   *flight.Postmortem
+	ctx          context.Context // nil = Background
+	timeout      time.Duration   // 0 = none
+	class        sched.Class
+	sched        *sched.Scheduler
 }
 
 // QueryOption customizes one Query call.
@@ -519,7 +546,18 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 	}
 	db.sealAll()
 
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	eo := pipeline.Options{
+		Ctx:          ctx,
 		Planner:      plannerWithWorkers(cfg.planner, cfg.parallelism),
 		Scheduling:   cfg.scheduling,
 		Parallelism:  cfg.parallelism,
@@ -553,17 +591,41 @@ func (db *DB) Query(q string, opts ...QueryOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Admission: block until the scheduler grants a query slot and a
+	// memory reservation, then execute with the ticket gating the Align
+	// and Compare stages. The DB lock is NOT held while waiting — an
+	// admission queue must never block catalog readers.
+	if cfg.sched != nil {
+		ticket, err := cfg.sched.Admit(ctx, cfg.class, cfg.memBudget, q)
+		if err != nil {
+			return nil, err
+		}
+		defer ticket.Done()
+		eo.Gate = ticket
+		if eo.MemoryBudget == 0 {
+			// No explicit budget: run under the per-query carve from the
+			// scheduler's shared pool (0 when no pool is configured).
+			eo.MemoryBudget = ticket.MemoryBytes()
+		}
+	}
+
 	var res *Result
 	if len(parsed.From) > 2 {
 		// Multi-way join: greedy join ordering (the paper's Section 8
-		// future work, implemented in internal/aql).
+		// future work, implemented in internal/aql). Registers
+		// intermediates in the catalog, so it holds the write lock.
+		db.mu.Lock()
 		mres, err := aql.RunMulti(db.cluster, q, eo)
+		db.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
 		res = newMultiResult(mres)
 	} else {
+		db.mu.RLock()
 		rep, err := aql.Run(db.cluster, q, eo)
+		db.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -588,7 +650,9 @@ func (db *DB) Explain(q string, opts ...QueryOption) (*Explanation, error) {
 		Planner: cfg.planner,
 		Logical: logical.PlanOptions{Selectivity: cfg.selectivity},
 	}
+	db.mu.RLock()
 	ex, err := aql.Explain(db.cluster, q, eo)
+	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -623,11 +687,14 @@ func (ar *Array) Redimension(schemaLiteral string) (*Array, *ReorgReport, error)
 	if target.Name == "" {
 		return nil, nil, fmt.Errorf("shufflejoin: redimension target needs a name")
 	}
+	ar.db.mu.Lock()
 	d, err := ar.db.cluster.Catalog.Lookup(ar.Name())
 	if err != nil {
+		ar.db.mu.Unlock()
 		return nil, nil, err
 	}
 	out, rep, err := exec.Redistribute(ar.db.cluster, d, target, exec.RedistributeOptions{})
+	ar.db.mu.Unlock()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -658,7 +725,9 @@ type JoinOrderStep struct {
 // results in the database.
 func (db *DB) ExplainJoinOrder(q string) ([]JoinOrderStep, error) {
 	db.sealAll()
+	db.mu.RLock()
 	plan, err := aql.ExplainMulti(db.cluster, q, pipeline.Options{})
+	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
